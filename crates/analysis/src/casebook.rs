@@ -1,0 +1,104 @@
+//! Table 3: the named case studies, regenerated from measurements.
+//!
+//! Everything in a row is *measured* by the study driver — the defective
+//! physical cores are the cores that produced errors, `#err` is the
+//! number of failing testcases, impacted datatypes come from the records —
+//! so the table checks the whole pipeline, not the catalog definitions.
+
+use crate::datatypes::datatypes_of_case;
+use crate::study::StudyData;
+use sdc_model::{ArchId, CoreId, DataType, SdcType};
+
+/// One Table 3 row.
+#[derive(Debug, Clone)]
+pub struct CaseRow {
+    /// Study name ("MIX1", …).
+    pub name: &'static str,
+    /// Micro-architecture.
+    pub arch: ArchId,
+    /// Age in years.
+    pub age_years: f64,
+    /// Defective physical cores, as measured (cores that produced errors).
+    pub defective_cores: Vec<CoreId>,
+    /// Number of failing testcases (`#err`).
+    pub n_err: usize,
+    /// Computation or consistency.
+    pub sdc_type: Option<SdcType>,
+    /// Impacted datatypes, as measured from records.
+    pub impacted_datatypes: Vec<DataType>,
+}
+
+/// The named processors of Table 3, in paper order.
+pub const TABLE3_NAMES: [&str; 10] = [
+    "MIX1", "MIX2", "SIMD1", "SIMD2", "FPU1", "FPU2", "FPU3", "FPU4", "CNST1", "CNST2",
+];
+
+/// Regenerates Table 3 rows from study data.
+pub fn table3(study: &StudyData) -> Vec<CaseRow> {
+    TABLE3_NAMES
+        .iter()
+        .filter_map(|&name| {
+            let case = study.case(name)?;
+            let mut cores: Vec<CoreId> =
+                case.freq_per_setting.iter().map(|&(s, _)| s.core).collect();
+            cores.sort();
+            cores.dedup();
+            let sdc_type = case.records.first().map(|r| r.kind);
+            Some(CaseRow {
+                name: case.name,
+                arch: case.processor.arch,
+                age_years: case.processor.age_years,
+                defective_cores: cores,
+                n_err: case.failing.len(),
+                sdc_type,
+                impacted_datatypes: datatypes_of_case(case),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{run_case, StudyConfig};
+    use fleet::screening::StaticSuiteProfile;
+    use sdc_model::Duration;
+    use silicon::catalog;
+    use toolchain::Suite;
+
+    #[test]
+    fn table3_rows_are_measured() {
+        let suite = Suite::standard();
+        let cfg = StudyConfig {
+            per_testcase: Duration::from_mins(2),
+            seed: 9,
+            max_candidates: Some(30),
+            ..StudyConfig::default()
+        };
+        let mut cases = Vec::new();
+        for name in ["SIMD1", "FPU1"] {
+            let case = catalog::by_name(name).unwrap();
+            let profiles =
+                StaticSuiteProfile::build(&suite, case.processor.physical_cores as usize);
+            cases.push(run_case(&case, &suite, &profiles, &cfg));
+        }
+        let rows = table3(&StudyData { cases });
+        assert_eq!(rows.len(), 2);
+
+        let simd1 = &rows[0];
+        assert_eq!(simd1.name, "SIMD1");
+        assert_eq!(simd1.arch, ArchId(2));
+        assert_eq!(
+            simd1.defective_cores,
+            vec![CoreId(0)],
+            "single defective core"
+        );
+        assert!(simd1.n_err > 0);
+        assert_eq!(simd1.sdc_type, Some(SdcType::Computation));
+        assert_eq!(simd1.impacted_datatypes, vec![DataType::F32]);
+
+        let fpu1 = &rows[1];
+        assert_eq!(fpu1.defective_cores, vec![CoreId(3)]);
+        assert!(fpu1.impacted_datatypes.contains(&DataType::F64));
+    }
+}

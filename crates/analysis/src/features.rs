@@ -1,0 +1,87 @@
+//! Figure 2: the proportion of faulty processors per vulnerable feature.
+//!
+//! A processor counts toward a feature if any of its *failing testcases*
+//! target that feature — the measurement path the paper uses (features are
+//! inferred from which workloads fail, not from knowing the defect).
+//! The proportions sum to more than 1 because "a defect can occur on
+//! shared or integrated components of multiple features".
+
+use crate::study::StudyData;
+use sdc_model::Feature;
+use toolchain::Suite;
+
+/// One Figure 2 bar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureShare {
+    /// The feature.
+    pub feature: Feature,
+    /// Fraction of studied faulty processors whose failures implicate it.
+    pub proportion: f64,
+}
+
+/// Computes Figure 2 from study data.
+pub fn figure2(study: &StudyData, suite: &Suite) -> Vec<FeatureShare> {
+    let n = study.cases.len().max(1) as f64;
+    Feature::ALL
+        .iter()
+        .map(|&feature| {
+            let count = study
+                .cases
+                .iter()
+                .filter(|c| c.failing.iter().any(|&id| suite.get(id).feature == feature))
+                .count();
+            FeatureShare {
+                feature,
+                proportion: count as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// The per-case feature sets (used by Table 3 and the observations).
+pub fn features_of_case(case: &crate::study::CaseData, suite: &Suite) -> Vec<Feature> {
+    let mut v: Vec<Feature> = Feature::ALL
+        .iter()
+        .copied()
+        .filter(|&f| case.failing.iter().any(|&id| suite.get(id).feature == f))
+        .collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{run_case, StudyConfig};
+    use fleet::screening::StaticSuiteProfile;
+    use sdc_model::Duration;
+    use silicon::catalog;
+
+    #[test]
+    fn figure2_attributes_features_from_failures() {
+        let suite = Suite::standard();
+        let cfg = StudyConfig {
+            per_testcase: Duration::from_mins(1),
+            seed: 3,
+            max_candidates: Some(40),
+            ..StudyConfig::default()
+        };
+        let mut cases = Vec::new();
+        for name in ["SIMD1", "FPU1"] {
+            let case = catalog::by_name(name).unwrap();
+            let profiles =
+                StaticSuiteProfile::build(&suite, case.processor.physical_cores as usize);
+            cases.push(run_case(&case, &suite, &profiles, &cfg));
+        }
+        let study = StudyData { cases };
+        let f2 = figure2(&study, &suite);
+        assert_eq!(f2.len(), 5);
+        let share = |f: Feature| f2.iter().find(|s| s.feature == f).unwrap().proportion;
+        // SIMD1 implicates the vector unit, FPU1 the FPU: half each.
+        assert_eq!(share(Feature::VecUnit), 0.5);
+        assert_eq!(share(Feature::Fpu), 0.5);
+        assert_eq!(share(Feature::TrxMem), 0.0);
+        let fpu1 = study.case("FPU1").unwrap();
+        assert_eq!(features_of_case(fpu1, &suite), vec![Feature::Fpu]);
+    }
+}

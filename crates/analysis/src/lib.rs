@@ -1,0 +1,34 @@
+//! The study machinery: every observation, table and figure of the paper.
+//!
+//! This crate turns the simulated fleet and the 27-processor deep-study
+//! set into the paper's published artifacts:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`study`] | the deep-study driver (§2.4's "tens of millions of tests") |
+//! | [`failure_rates`] | Tables 1–2 (via the `fleet` campaign) |
+//! | [`features`] | Figure 2 — faulty processors per vulnerable feature |
+//! | [`datatypes`] | Figure 3 — faulty processors per affected datatype |
+//! | [`bitflips`] | Figures 4(a–d), 5 — per-bit flip histograms |
+//! | [`precision`] | Figure 4(e–h) — relative precision-loss CDFs |
+//! | [`patterns`] | Figures 6–7 — bitflip patterns and flip multiplicity |
+//! | [`reproducibility`] | Observation 9 — occurrence-frequency spread |
+//! | [`temperature`] | Figures 8–9 — frequency/temperature structure |
+//! | [`casebook`] | Table 3 — the named case studies |
+//! | [`suspects`] | §4.1's statistical suspect-instruction localization |
+//! | [`observations`] | Observations 1–12 as checkable summaries |
+
+pub mod bitflips;
+pub mod casebook;
+pub mod datatypes;
+pub mod failure_rates;
+pub mod features;
+pub mod observations;
+pub mod patterns;
+pub mod precision;
+pub mod reproducibility;
+pub mod study;
+pub mod suspects;
+pub mod temperature;
+
+pub use study::{run_deep_study, CaseData, StudyConfig, StudyData};

@@ -1,0 +1,246 @@
+//! The paper's twelve observations as checkable summaries.
+//!
+//! Each function distills one observation into numbers from the simulated
+//! study; the `repro` binary prints them next to the paper's values and
+//! the integration suite asserts the qualitative claims hold.
+
+use crate::bitflips;
+use crate::datatypes;
+use crate::study::StudyData;
+use sdc_model::{DataType, SdcType};
+use toolchain::Suite;
+
+/// Observation 4: defect scope — single core vs. all cores — and the
+/// cross-core frequency spread.
+#[derive(Debug, Clone)]
+pub struct ScopeSummary {
+    /// Studied processors with exactly one defective core (measured).
+    pub single_core: usize,
+    /// Studied processors with more than one defective core.
+    pub multi_core: usize,
+    /// Largest cross-core frequency ratio observed within one setting
+    /// family (the paper: "up to several orders of magnitude").
+    pub max_core_freq_ratio: f64,
+}
+
+/// Computes the Observation 4 summary.
+pub fn obs4_scope(study: &StudyData) -> ScopeSummary {
+    let mut single = 0;
+    let mut multi = 0;
+    let mut max_ratio = 1.0f64;
+    for case in &study.cases {
+        let mut cores: Vec<u16> = case
+            .freq_per_setting
+            .iter()
+            .map(|&(s, _)| s.core.0)
+            .collect();
+        cores.sort_unstable();
+        cores.dedup();
+        match cores.len() {
+            0 => {}
+            1 => single += 1,
+            _ => multi += 1,
+        }
+        // Cross-core ratio within the same testcase.
+        let mut by_tc: std::collections::HashMap<u32, Vec<f64>> = Default::default();
+        for &(s, f) in &case.freq_per_setting {
+            by_tc.entry(s.testcase.0).or_default().push(f);
+        }
+        for freqs in by_tc.values() {
+            if freqs.len() > 1 {
+                let hi = freqs.iter().copied().fold(0.0f64, f64::max);
+                let lo = freqs.iter().copied().fold(f64::INFINITY, f64::min);
+                if lo > 0.0 {
+                    max_ratio = max_ratio.max(hi / lo);
+                }
+            }
+        }
+    }
+    ScopeSummary {
+        single_core: single,
+        multi_core: multi,
+        max_core_freq_ratio: max_ratio,
+    }
+}
+
+/// Observation 5: SDC type split and the single-type invariant.
+#[derive(Debug, Clone)]
+pub struct TypeSummary {
+    /// Processors whose failures are computation SDCs (paper: 19 of 27).
+    pub computation: usize,
+    /// Processors whose failures are consistency SDCs (paper: 8 of 27).
+    pub consistency: usize,
+    /// True if no studied processor mixed both SDC types.
+    pub single_type_invariant: bool,
+}
+
+/// Computes the Observation 5 type split from measured records.
+pub fn obs5_types(study: &StudyData) -> TypeSummary {
+    let mut computation = 0;
+    let mut consistency = 0;
+    let mut invariant = true;
+    for case in &study.cases {
+        let has_comp = case.records.iter().any(|r| r.kind == SdcType::Computation);
+        let has_cons = case.records.iter().any(|r| r.kind == SdcType::Consistency);
+        match (has_comp, has_cons) {
+            (true, false) => computation += 1,
+            (false, true) => consistency += 1,
+            (true, true) => invariant = false,
+            (false, false) => {}
+        }
+    }
+    TypeSummary {
+        computation,
+        consistency,
+        single_type_invariant: invariant,
+    }
+}
+
+/// Observations 6–7: float vulnerability and fraction-part concentration.
+#[derive(Debug, Clone)]
+pub struct FloatSummary {
+    /// Mean share of processors affected per float datatype vs. others.
+    pub float_share: f64,
+    /// Same for non-float datatypes.
+    pub other_share: f64,
+    /// Share of f64 flips landing in the fraction part.
+    pub f64_fraction_share: f64,
+    /// Share of all flips going 0→1 (paper: 51.08%).
+    pub zero_to_one_share: f64,
+}
+
+/// Computes the Observation 6–7 summary.
+pub fn obs6_7_floats(study: &StudyData) -> FloatSummary {
+    let shares = datatypes::figure3(study);
+    let (float_share, other_share) = datatypes::float_vs_other_share(&shares);
+    let records: Vec<_> = study.all_records().collect();
+    FloatSummary {
+        float_share,
+        other_share,
+        f64_fraction_share: bitflips::fraction_part_share(records.iter().copied(), DataType::F64),
+        zero_to_one_share: bitflips::zero_to_one_share(records.iter().copied()),
+    }
+}
+
+/// Observation 11: testcase effectiveness.
+#[derive(Debug, Clone)]
+pub struct EffectivenessSummary {
+    /// Suite size (633).
+    pub suite_size: usize,
+    /// Testcases that detected at least one error across the whole study
+    /// (paper: 73 = 633 − 560).
+    pub effective: usize,
+    /// Testcases that never detected anything (paper: 560).
+    pub ineffective: usize,
+}
+
+/// Computes the Observation 11 summary.
+pub fn obs11_effectiveness(study: &StudyData, suite: &Suite) -> EffectivenessSummary {
+    let mut effective: Vec<u32> = study
+        .cases
+        .iter()
+        .flat_map(|c| c.failing.iter().map(|t| t.0))
+        .collect();
+    effective.sort_unstable();
+    effective.dedup();
+    EffectivenessSummary {
+        suite_size: suite.len(),
+        effective: effective.len(),
+        ineffective: suite.len() - effective.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::CaseData;
+    use sdc_model::{CoreId, CpuId, Duration, SdcRecord, SettingId, TestcaseId};
+    use silicon::catalog;
+
+    fn case(records: Vec<SdcRecord>, freqs: Vec<(u16, u32, f64)>) -> CaseData {
+        CaseData {
+            name: "X",
+            processor: catalog::by_name("SIMD1").unwrap().processor,
+            failing: vec![TestcaseId(1)],
+            tested: vec![TestcaseId(1), TestcaseId(2)],
+            records,
+            freq_per_setting: freqs
+                .into_iter()
+                .map(|(core, tc, f)| {
+                    (
+                        SettingId {
+                            cpu: CpuId(1),
+                            core: CoreId(core),
+                            testcase: TestcaseId(tc),
+                        },
+                        f,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn rec(kind: SdcType) -> SdcRecord {
+        SdcRecord {
+            setting: SettingId {
+                cpu: CpuId(1),
+                core: CoreId(0),
+                testcase: TestcaseId(1),
+            },
+            kind,
+            datatype: DataType::F64,
+            expected: 2,
+            actual: 3,
+            temp_c: 50.0,
+            at: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn scope_summary_counts_cores_and_ratio() {
+        let study = StudyData {
+            cases: vec![
+                case(vec![], vec![(0, 1, 5.0)]),
+                case(vec![], vec![(0, 1, 100.0), (1, 1, 0.1)]),
+            ],
+        };
+        let s = obs4_scope(&study);
+        assert_eq!(s.single_core, 1);
+        assert_eq!(s.multi_core, 1);
+        assert!((s.max_core_freq_ratio - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_summary_respects_invariant() {
+        let study = StudyData {
+            cases: vec![
+                case(vec![rec(SdcType::Computation)], vec![]),
+                case(vec![rec(SdcType::Consistency)], vec![]),
+            ],
+        };
+        let s = obs5_types(&study);
+        assert_eq!(s.computation, 1);
+        assert_eq!(s.consistency, 1);
+        assert!(s.single_type_invariant);
+
+        let mixed = StudyData {
+            cases: vec![case(
+                vec![rec(SdcType::Computation), rec(SdcType::Consistency)],
+                vec![],
+            )],
+        };
+        assert!(!obs5_types(&mixed).single_type_invariant);
+    }
+
+    #[test]
+    fn effectiveness_counts_union_of_failing() {
+        let suite = Suite::standard();
+        let study = StudyData {
+            cases: vec![case(vec![], vec![]), case(vec![], vec![])],
+        };
+        let s = obs11_effectiveness(&study, &suite);
+        assert_eq!(s.suite_size, 633);
+        assert_eq!(s.effective, 1, "both cases fail the same testcase");
+        assert_eq!(s.ineffective, 632);
+    }
+}

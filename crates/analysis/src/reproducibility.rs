@@ -1,0 +1,92 @@
+//! Observation 9: occurrence-frequency spread across settings.
+//!
+//! "SDC occurrence frequency varies significantly across different
+//! settings, from as low as 0.01 times per minute to as high as hundreds
+//! of times per minute. In 51.2% of the settings, the occurrence
+//! frequency is higher than once per minute."
+
+use crate::study::StudyData;
+
+/// Summary of per-setting occurrence frequencies.
+#[derive(Debug, Clone)]
+pub struct ReproducibilitySummary {
+    /// All measured per-setting frequencies (errors/minute).
+    pub frequencies: Vec<f64>,
+    /// Lowest observed frequency.
+    pub min: f64,
+    /// Highest observed frequency.
+    pub max: f64,
+    /// Share of settings above one error per minute (paper: 51.2%).
+    pub share_above_one_per_min: f64,
+}
+
+/// Aggregates the study's per-setting frequencies.
+pub fn summarize(study: &StudyData) -> ReproducibilitySummary {
+    let frequencies: Vec<f64> = study
+        .cases
+        .iter()
+        .flat_map(|c| c.freq_per_setting.iter().map(|&(_, f)| f))
+        .collect();
+    let min = frequencies.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = frequencies.iter().copied().fold(0.0f64, f64::max);
+    let above = frequencies.iter().filter(|&&f| f > 1.0).count();
+    let share = above as f64 / frequencies.len().max(1) as f64;
+    ReproducibilitySummary {
+        min: if min.is_finite() { min } else { 0.0 },
+        max,
+        share_above_one_per_min: share,
+        frequencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::CaseData;
+    use sdc_model::{CoreId, CpuId, SettingId, TestcaseId};
+    use silicon::catalog;
+
+    fn case_with_freqs(freqs: &[f64]) -> CaseData {
+        CaseData {
+            name: "X",
+            processor: catalog::by_name("SIMD1").unwrap().processor,
+            failing: vec![],
+            tested: vec![],
+            records: vec![],
+            freq_per_setting: freqs
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| {
+                    (
+                        SettingId {
+                            cpu: CpuId(1),
+                            core: CoreId(0),
+                            testcase: TestcaseId(i as u32),
+                        },
+                        f,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let study = StudyData {
+            cases: vec![case_with_freqs(&[0.02, 0.5, 2.0, 150.0])],
+        };
+        let s = summarize(&study);
+        assert_eq!(s.min, 0.02);
+        assert_eq!(s.max, 150.0);
+        assert_eq!(s.share_above_one_per_min, 0.5);
+        assert_eq!(s.frequencies.len(), 4);
+    }
+
+    #[test]
+    fn empty_study_is_safe() {
+        let s = summarize(&StudyData { cases: vec![] });
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.share_above_one_per_min, 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The deep-study driver.
+//!
+//! §2.4: "we have conducted extensive experiments on 27 of them … we have
+//! run tens of millions of tests and collected more than ten thousand SDC
+//! records." This module drives that study against the simulated catalog:
+//! for each case-study processor, candidate testcases are prefiltered with
+//! the fleet's static profiles (a testcase that never retires a matching
+//! instruction class cannot fail), and the accelerated executor measures
+//! errors, records, and per-setting occurrence frequencies.
+
+use fleet::screening::StaticSuiteProfile;
+use sdc_model::{DetRng, Duration, SdcRecord, SettingId, TestcaseId};
+use silicon::catalog::{self, CaseStudy};
+use silicon::defect::DefectKind;
+use silicon::Processor;
+use std::collections::HashMap;
+use toolchain::{ExecConfig, Executor, Suite};
+
+/// Study parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Virtual test duration per (processor × testcase).
+    pub per_testcase: Duration,
+    /// Root seed.
+    pub seed: u64,
+    /// Optional cap on candidate testcases per processor (keeps unit
+    /// tests fast; `None` studies every candidate).
+    pub max_candidates: Option<usize>,
+    /// Executor configuration (burn-in, temperature hold, clock).
+    pub exec: ExecConfig,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            per_testcase: Duration::from_mins(2),
+            seed: 27,
+            max_candidates: None,
+            // Cap materialized records per run so prolific settings do not
+            // flood the corpus — the paper's whole deep study collected
+            // "more than ten thousand SDC records" across 27 processors.
+            exec: ExecConfig {
+                max_records: 128,
+                ..ExecConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything measured about one case-study processor.
+#[derive(Debug, Clone)]
+pub struct CaseData {
+    /// Study name ("MIX1", …).
+    pub name: &'static str,
+    /// The processor.
+    pub processor: Processor,
+    /// Testcases that produced at least one error.
+    pub failing: Vec<TestcaseId>,
+    /// Candidate testcases that were executed.
+    pub tested: Vec<TestcaseId>,
+    /// All materialized SDC records.
+    pub records: Vec<SdcRecord>,
+    /// Measured occurrence frequency (errors per minute) per setting.
+    pub freq_per_setting: Vec<(SettingId, f64)>,
+}
+
+impl CaseData {
+    /// Records of computation SDCs only.
+    pub fn computation_records(&self) -> impl Iterator<Item = &SdcRecord> {
+        self.records.iter().filter(|r| r.is_computation())
+    }
+}
+
+/// The full deep-study result.
+#[derive(Debug, Clone)]
+pub struct StudyData {
+    /// One entry per studied processor.
+    pub cases: Vec<CaseData>,
+}
+
+impl StudyData {
+    /// All records across cases.
+    pub fn all_records(&self) -> impl Iterator<Item = &SdcRecord> {
+        self.cases.iter().flat_map(|c| c.records.iter())
+    }
+
+    /// Case lookup by name.
+    pub fn case(&self, name: &str) -> Option<&CaseData> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+}
+
+/// True if `tc`'s static profile retires anything a defect of
+/// `processor` can act on.
+fn is_candidate(
+    processor: &Processor,
+    profiles: &StaticSuiteProfile,
+    suite: &Suite,
+    id: TestcaseId,
+) -> bool {
+    // Note: deliberately *not* gated on `Defect::applies_to` — the real
+    // toolchain cannot know which code paths reach a defect; it tests
+    // every plausible candidate and discovers that only a subset fails
+    // (§4.1).
+    let tc = suite.get(id);
+    let profile = profiles.get(id.0 as usize);
+    processor.defects.iter().any(|d| match &d.kind {
+        DefectKind::Computation { .. } => profile
+            .sites_per_cycle
+            .keys()
+            .any(|&(class, dt)| d.matches(class, dt)),
+        DefectKind::CoherenceDrop | DefectKind::TxIsolation => tc.threads > 1,
+    })
+}
+
+/// Studies one processor.
+pub fn run_case(
+    case: &CaseStudy,
+    suite: &Suite,
+    profiles: &StaticSuiteProfile,
+    cfg: &StudyConfig,
+) -> CaseData {
+    let processor = &case.processor;
+    let cores: Vec<u16> = (0..processor.physical_cores).collect();
+    let mut executor = Executor::new(processor, cfg.exec);
+    let mut rng = DetRng::new(cfg.seed).fork(processor.id.0);
+
+    let mut candidates: Vec<TestcaseId> = suite
+        .testcases()
+        .iter()
+        .map(|t| t.id)
+        .filter(|&id| is_candidate(processor, profiles, suite, id))
+        .collect();
+    if let Some(cap) = cfg.max_candidates {
+        candidates.truncate(cap);
+    }
+
+    let mut failing = Vec::new();
+    let mut records = Vec::new();
+    let mut freq = Vec::new();
+    for &id in &candidates {
+        let tc = suite.get(id);
+        let run = executor.run(tc, &cores, cfg.per_testcase, &mut rng);
+        if run.detected() {
+            failing.push(id);
+        }
+        for (idx, &count) in run.errors_per_core.iter().enumerate() {
+            if count > 0 {
+                let setting = SettingId {
+                    cpu: processor.id,
+                    core: sdc_model::CoreId(cores[idx]),
+                    testcase: id,
+                };
+                freq.push((setting, count as f64 / cfg.per_testcase.as_mins_f64()));
+            }
+        }
+        records.extend(run.records);
+    }
+    CaseData {
+        name: case.name,
+        processor: processor.clone(),
+        failing,
+        tested: candidates,
+        records,
+        freq_per_setting: freq,
+    }
+}
+
+/// Runs the whole 27-processor study.
+pub fn run_deep_study(cfg: &StudyConfig) -> StudyData {
+    let suite = Suite::standard();
+    let mut profile_cache: HashMap<usize, StaticSuiteProfile> = HashMap::new();
+    let mut cases = Vec::new();
+    for case in catalog::deep_study_set() {
+        let cores = case.processor.physical_cores as usize;
+        let profiles = profile_cache
+            .entry(cores)
+            .or_insert_with(|| StaticSuiteProfile::build(&suite, cores));
+        cases.push(run_case(&case, &suite, profiles, cfg));
+    }
+    StudyData { cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> StudyConfig {
+        StudyConfig {
+            per_testcase: Duration::from_secs(30),
+            seed: 7,
+            max_candidates: Some(12),
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn simd1_fails_a_strict_subset_of_candidates() {
+        let suite = Suite::standard();
+        let case = catalog::by_name("SIMD1").unwrap();
+        let profiles = StaticSuiteProfile::build(&suite, case.processor.physical_cores as usize);
+        let data = run_case(&case, &suite, &profiles, &StudyConfig::default());
+        assert!(!data.failing.is_empty(), "SIMD1 fails something");
+        assert!(
+            data.failing.len() < data.tested.len(),
+            "usage stress: not every matching testcase fails ({}/{})",
+            data.failing.len(),
+            data.tested.len()
+        );
+        // All failing testcases exercise the f32 vector-FMA path.
+        for id in &data.failing {
+            let name = &suite.get(*id).name;
+            assert!(
+                name.contains("matk/l0") || name.contains("axpy/l0"),
+                "unexpected failing testcase {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_prefilter_excludes_unrelated_testcases() {
+        let suite = Suite::standard();
+        let case = catalog::by_name("FPU1").unwrap();
+        let profiles = StaticSuiteProfile::build(&suite, case.processor.physical_cores as usize);
+        let data = run_case(&case, &suite, &profiles, &quick_cfg());
+        for id in &data.tested {
+            let name = &suite.get(*id).name;
+            assert!(
+                name.contains("atan") || name.contains("x87"),
+                "FPU1 candidates must involve arctangent: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_case_candidates_are_multithreaded() {
+        let suite = Suite::standard();
+        let case = catalog::by_name("CNST2").unwrap();
+        let profiles = StaticSuiteProfile::build(&suite, case.processor.physical_cores as usize);
+        let data = run_case(&case, &suite, &profiles, &quick_cfg());
+        for id in &data.tested {
+            assert!(suite.get(*id).threads > 1);
+        }
+    }
+
+    #[test]
+    fn frequencies_are_per_setting_and_positive() {
+        let suite = Suite::standard();
+        let case = catalog::by_name("FPU1").unwrap();
+        let profiles = StaticSuiteProfile::build(&suite, case.processor.physical_cores as usize);
+        let data = run_case(&case, &suite, &profiles, &StudyConfig::default());
+        assert!(!data.freq_per_setting.is_empty());
+        for (setting, f) in &data.freq_per_setting {
+            assert!(*f > 0.0);
+            assert_eq!(setting.cpu, case.processor.id);
+            // FPU1's only defective core is pcore 3.
+            assert_eq!(setting.core.0, 3);
+        }
+    }
+}

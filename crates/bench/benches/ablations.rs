@@ -1,0 +1,201 @@
+//! Ablations of Farron's design choices (DESIGN.md §ablations).
+//!
+//! Each ablation disables one mechanism and reports its effect once
+//! (coverage or capacity deltas), while Criterion measures the runtime of
+//! the ablated round:
+//!
+//! 1. testcase prioritization on/off;
+//! 2. burn-in preheating on/off (coverage of temperature-gated SDCs);
+//! 3. adaptive vs. fixed temperature boundary (backoff frequency);
+//! 4. fine-grained vs. whole-processor decommission (capacity retained).
+
+use analysis::study::{run_case, StudyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use farron::baseline::Baseline;
+use farron::decommission::{decide, DecommissionDecision, ReliablePool};
+use farron::online::{simulate_online, AppProfile, OnlineConfig};
+use farron::priority::PriorityBook;
+use farron::schedule::FarronScheduler;
+use fleet::screening::StaticSuiteProfile;
+use sdc_model::{CpuId, DetRng, Duration, Feature};
+use silicon::catalog;
+use toolchain::{framework, ExecConfig, Suite, TestPlan};
+
+fn burn_in() -> ExecConfig {
+    ExecConfig {
+        preheat_c: Some(58.0),
+        stress_idle_cores: true,
+        ..ExecConfig::default()
+    }
+}
+
+fn coverage(
+    processor: &silicon::Processor,
+    suite: &Suite,
+    plan: &TestPlan,
+    exec: ExecConfig,
+    known: &[sdc_model::TestcaseId],
+    seed: u64,
+) -> f64 {
+    let mut rng = DetRng::new(seed);
+    let report = framework::run_plan(processor, suite, plan, exec, &mut rng);
+    report
+        .failing_testcases()
+        .iter()
+        .filter(|t| known.contains(t))
+        .count() as f64
+        / known.len().max(1) as f64
+}
+
+fn ablation_prioritization_and_burn_in(c: &mut Criterion) {
+    let suite = Suite::standard();
+    let case = catalog::by_name("FPU2").expect("catalog");
+    let processor = &case.processor;
+    let profiles = StaticSuiteProfile::build(&suite, processor.physical_cores as usize);
+    let reference = run_case(
+        &case,
+        &suite,
+        &profiles,
+        &StudyConfig {
+            per_testcase: Duration::from_mins(10),
+            seed: 1,
+            max_candidates: None,
+            exec: burn_in(),
+        },
+    );
+    let known = reference.failing.clone();
+    let mut book = PriorityBook::new();
+    for &id in &known {
+        book.record_processor_detection(processor.id.0, id);
+    }
+    let farron_plan =
+        FarronScheduler::default().plan(&suite, &book, processor.id, &[Feature::Fpu], 58.0);
+    // Ablation 1: no prioritization — same total budget spread equally.
+    let equal_plan = TestPlan::equal_allocation(&suite, farron_plan.total_duration());
+    // Ablation 2: prioritization but no burn-in.
+    let cov_full = coverage(processor, &suite, &farron_plan, burn_in(), &known, 10);
+    let cov_no_prio = coverage(processor, &suite, &equal_plan, burn_in(), &known, 11);
+    let cov_no_burn = coverage(
+        processor,
+        &suite,
+        &farron_plan,
+        ExecConfig::default(),
+        &known,
+        12,
+    );
+    let cov_baseline = coverage(
+        processor,
+        &suite,
+        &Baseline::default().plan(&suite),
+        ExecConfig::default(),
+        &known,
+        13,
+    );
+    eprintln!(
+        "[ablation/FPU2] coverage: full {cov_full:.2}, -prioritization {cov_no_prio:.2}, -burn-in {cov_no_burn:.2}, baseline {cov_baseline:.2}"
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("farron_round_full", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(20);
+            framework::run_plan(processor, &suite, &farron_plan, burn_in(), &mut rng)
+        })
+    });
+    group.bench_function("farron_round_no_prioritization", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(21);
+            framework::run_plan(processor, &suite, &equal_plan, burn_in(), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn ablation_boundary(c: &mut Criterion) {
+    let suite = Suite::standard();
+    let mix1 = catalog::by_name("MIX1").expect("catalog").processor;
+    let app = AppProfile {
+        testcase: bench::find(&suite, "fpu/f64/fam2"),
+        utilization: 0.4,
+        burst_amplitude: 0.25,
+        burst_period: Duration::from_secs(120),
+        spike_prob: 0.002,
+    };
+    let cores: Vec<u16> = (0..16).collect();
+    // Adaptive (learning up to the 57 ℃ cap) vs a fixed low boundary.
+    let adaptive = OnlineConfig {
+        duration: Duration::from_hours(2),
+        ..Default::default()
+    };
+    let fixed = OnlineConfig {
+        duration: Duration::from_hours(2),
+        boundary_init_c: 50.0,
+        max_boundary_c: 50.0, // never learns: every warm period backs off
+        ..Default::default()
+    };
+    let mut rng = DetRng::new(30);
+    let a = simulate_online(&mix1, &suite, &app, &cores, &adaptive, &mut rng);
+    let f = simulate_online(&mix1, &suite, &app, &cores, &fixed, &mut rng);
+    eprintln!(
+        "[ablation/boundary] backoff: adaptive {:.1} s/h vs fixed-50℃ {:.1} s/h (SDCs: {} vs {})",
+        a.backoff_secs_per_hour, f.backoff_secs_per_hour, a.sdc_events, f.sdc_events
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("online_adaptive_boundary", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(31);
+            simulate_online(
+                &mix1,
+                &suite,
+                &app,
+                &cores,
+                &OnlineConfig {
+                    duration: Duration::from_mins(30),
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_decommission(_c: &mut Criterion) {
+    // Fine-grained vs whole-processor decommission: capacity retained
+    // across the deep-study set (no runtime component worth benching).
+    let mut fine = 0.0;
+    let mut whole = 0.0;
+    let mut total = 0.0;
+    for case in catalog::deep_study_set() {
+        let p = &case.processor;
+        let cores = p.physical_cores as f64;
+        total += cores;
+        match decide(&p.defective_cores()) {
+            DecommissionDecision::MaskCores(masked) => {
+                let mut pool = ReliablePool::new();
+                pool.apply(p.id, &decide(&p.defective_cores()));
+                fine += cores - masked.len() as f64;
+                let _ = pool;
+            }
+            DecommissionDecision::DeprecateProcessor => {}
+        }
+        // The whole-processor policy retains nothing on any faulty CPU.
+        whole += 0.0;
+    }
+    eprintln!(
+        "[ablation/decommission] capacity retained across the 27 faulty CPUs: fine-grained {:.0}% vs whole-processor {:.0}% of {total} cores",
+        fine / total * 100.0,
+        whole / total * 100.0
+    );
+    let _ = CpuId(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_prioritization_and_burn_in, ablation_boundary, ablation_decommission
+}
+criterion_main!(benches);

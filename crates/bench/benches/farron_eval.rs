@@ -1,0 +1,105 @@
+//! Figure 11 / Table 4 benches: one Farron regular round vs one baseline
+//! round on a faulty processor, and the online temperature-control
+//! simulation. Prints the coverage/overhead comparison once.
+
+use analysis::study::{run_case, StudyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use farron::baseline::Baseline;
+use farron::online::{simulate_online, AppProfile, OnlineConfig};
+use farron::priority::PriorityBook;
+use farron::schedule::FarronScheduler;
+use fleet::screening::StaticSuiteProfile;
+use sdc_model::{DetRng, Duration, Feature};
+use silicon::catalog;
+use toolchain::{framework, ExecConfig, Suite};
+
+fn burn_in() -> ExecConfig {
+    ExecConfig {
+        preheat_c: Some(58.0),
+        stress_idle_cores: true,
+        ..ExecConfig::default()
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let suite = Suite::standard();
+    let case = catalog::by_name("FPU1").expect("catalog");
+    let processor = &case.processor;
+    let profiles = StaticSuiteProfile::build(&suite, processor.physical_cores as usize);
+    let reference = run_case(
+        &case,
+        &suite,
+        &profiles,
+        &StudyConfig {
+            per_testcase: Duration::from_mins(10),
+            seed: 1,
+            max_candidates: None,
+            exec: burn_in(),
+        },
+    );
+    let mut book = PriorityBook::new();
+    for &id in &reference.failing {
+        book.record_processor_detection(processor.id.0, id);
+    }
+    let farron_plan =
+        FarronScheduler::default().plan(&suite, &book, processor.id, &[Feature::Fpu], 58.0);
+    let baseline_plan = Baseline::default().plan(&suite);
+    eprintln!(
+        "[table 4] FPU1 round: Farron {:.2} h vs baseline {:.2} h (paper: 1.02 vs 10.55)",
+        farron_plan.total_duration().as_hours_f64(),
+        baseline_plan.total_duration().as_hours_f64()
+    );
+
+    let mut group = c.benchmark_group("farron");
+    group.sample_size(10);
+    group.bench_function("fig11_farron_round", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(2);
+            framework::run_plan(processor, &suite, &farron_plan, burn_in(), &mut rng)
+        })
+    });
+    group.bench_function("fig11_baseline_round", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(3);
+            framework::run_plan(
+                processor,
+                &suite,
+                &baseline_plan,
+                ExecConfig::default(),
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("table4_online_1h", |b| {
+        let app = AppProfile {
+            testcase: reference.failing[0],
+            utilization: 0.3,
+            burst_amplitude: 0.15,
+            burst_period: Duration::from_secs(120),
+            spike_prob: 0.002,
+        };
+        let cores: Vec<u16> = (0..processor.physical_cores).collect();
+        b.iter(|| {
+            let mut rng = DetRng::new(4);
+            simulate_online(
+                processor,
+                &suite,
+                &app,
+                &cores,
+                &OnlineConfig {
+                    duration: Duration::from_hours(1),
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rounds
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 8 / Figure 9 benches: the controlled-temperature sweep harness
+//! and the minimum-trigger scan. Prints the FPU2 panel fit once.
+
+use analysis::temperature::{min_trigger_temp, temperature_sweep};
+use bench::find;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdc_model::Duration;
+use silicon::catalog;
+use toolchain::Suite;
+
+fn bench_sweep(c: &mut Criterion) {
+    let suite = Suite::standard();
+    let fpu2 = catalog::by_name("FPU2").expect("catalog").processor;
+    let tc = find(&suite, "fpu/atan/f64/");
+    let temps: Vec<f64> = (48..=56).step_by(2).map(f64::from).collect();
+
+    // Regenerate the Figure 8(c) fit once.
+    let sweep = temperature_sweep(&fpu2, &suite, tc, 8, &temps, Duration::from_mins(20), 42);
+    if let Some(fit) = sweep.fit {
+        eprintln!(
+            "[figure 8c] FPU2 pcore8: Pearson r = {:.4} (paper: 0.8855), slope {:.3}/℃",
+            fit.r, fit.slope
+        );
+    }
+
+    let mut group = c.benchmark_group("temperature");
+    group.sample_size(10);
+    group.bench_function("fig8_sweep_5pts_5min", |b| {
+        b.iter(|| temperature_sweep(&fpu2, &suite, tc, 8, &temps, Duration::from_mins(5), 42))
+    });
+    group.bench_function("fig9_min_trigger_scan", |b| {
+        let grid: Vec<f64> = (46..=64).step_by(2).map(f64::from).collect();
+        b.iter(|| min_trigger_temp(&fpu2, &suite, tc, 8, &grid, Duration::from_mins(5), 43))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Substrate benches: VM throughput per workload family, MESI traffic,
+//! extended-precision soft-float throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdc_model::DetRng;
+use softcore::{
+    FOpKind, IntOpKind, LaneType, Machine, NoFaults, Precision, ProgramBuilder, VOpKind,
+};
+use softfloat::{atan, F80};
+
+fn bench_vm_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_throughput");
+    let families: Vec<(&str, softcore::Program)> = vec![
+        ("int_alu", {
+            let mut b = ProgramBuilder::new();
+            b.mov_imm(0, 3).mov_imm(1, 5).loop_start(10_000);
+            b.int_op(IntOpKind::Add, sdc_model::DataType::I32, 2, 0, 1);
+            b.int_op(IntOpKind::Xor, sdc_model::DataType::I32, 0, 0, 2);
+            b.loop_end();
+            b.build()
+        }),
+        ("float_fma", {
+            let mut b = ProgramBuilder::new();
+            b.fmov_imm(0, 1.1)
+                .fmov_imm(1, 0.9)
+                .fmov_imm(2, 0.1)
+                .loop_start(10_000);
+            b.ffma(Precision::F64, 3, 0, 1, 2);
+            b.fop(FOpKind::Mul, Precision::F64, 0, 0, 1);
+            b.loop_end();
+            b.build()
+        }),
+        ("vector_fma", {
+            let mut b = ProgramBuilder::new();
+            b.loop_start(10_000);
+            b.vop(VOpKind::Fma, LaneType::F32x8, 1, 0, 1, 2);
+            b.loop_end();
+            b.build()
+        }),
+        ("crc32", {
+            let mut b = ProgramBuilder::new();
+            b.mov_imm(0, 0xffff_ffff)
+                .mov_imm(1, 0x0123_4567)
+                .loop_start(10_000);
+            b.crc32_step(0, 0, 1);
+            b.loop_end();
+            b.build()
+        }),
+        ("x87_atan", {
+            let mut b = ProgramBuilder::new();
+            b.fmov_imm(0, 0.7);
+            b.push(softcore::Inst::XFromF { dst: 0, src: 0 });
+            b.loop_start(500);
+            b.xatan(1, 0);
+            b.loop_end();
+            b.build()
+        }),
+    ];
+    for (name, program) in families {
+        let steps = program.estimated_steps();
+        group.throughput(Throughput::Elements(steps));
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut m = Machine::new(1, 4096);
+                m.load(0, program.clone());
+                let mut rng = DetRng::new(1);
+                m.run(&mut NoFaults, &mut rng, u64::MAX)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesi_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesi");
+    for threads in [2usize, 4] {
+        group.bench_function(format!("lock_counter_t{threads}"), |bench| {
+            bench.iter(|| {
+                let mut m = Machine::new(threads, 1 << 16);
+                for t in 0..threads {
+                    let mut b = ProgramBuilder::new();
+                    b.mov_imm(0, 0).mov_imm(1, 64).mov_imm(2, 1).loop_start(200);
+                    b.lock_acquire(0);
+                    b.load(3, 1, 0);
+                    b.int_op(IntOpKind::Add, sdc_model::DataType::Bin64, 3, 3, 2);
+                    b.store(3, 1, 0);
+                    b.lock_release(0);
+                    b.loop_end();
+                    m.load(t, b.build());
+                }
+                let mut rng = DetRng::new(2);
+                let out = m.run(&mut NoFaults, &mut rng, 100_000_000);
+                assert!(out.completed);
+                assert_eq!(m.mem.raw_read_u64(64), threads as u64 * 200);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_softfloat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softfloat");
+    let a = F80::from_f64(1.234_567_89);
+    let b = F80::from_f64(0.987_654_32);
+    group.bench_function("mul", |bench| bench.iter(|| std::hint::black_box(a) * b));
+    group.bench_function("add", |bench| bench.iter(|| std::hint::black_box(a) + b));
+    group.bench_function("div", |bench| bench.iter(|| std::hint::black_box(a) / b));
+    group.bench_function("atan", |bench| bench.iter(|| atan(std::hint::black_box(a))));
+    group.bench_function("encode_decode", |bench| {
+        bench.iter(|| F80::decode(std::hint::black_box(a).encode()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vm_families, bench_mesi_contention, bench_softfloat
+}
+criterion_main!(benches);

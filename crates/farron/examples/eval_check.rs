@@ -1,0 +1,29 @@
+//! Calibration check: the full Figure 11 / Table 4 evaluation.
+//!
+//! ```text
+//! cargo run --release -p farron --example eval_check
+//! ```
+
+use farron::eval::{evaluate, EvalConfig};
+
+fn main() {
+    let rows = evaluate(&EvalConfig::default());
+    println!(
+        "{:<7} {:>6} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "cpu", "known", "farronC", "baseC", "farronH", "baseH", "testOv%", "ctrlOv%", "bkof s/h"
+    );
+    for r in rows {
+        println!(
+            "{:<7} {:>6} {:>8.3} {:>8.3} {:>8.2} {:>8.2} {:>9.3} {:>9.3} {:>9.3}",
+            r.name,
+            r.known_errors,
+            r.farron_coverage,
+            r.baseline_coverage,
+            r.farron_round_hours,
+            r.baseline_round_hours,
+            r.farron_test_overhead * 100.0,
+            r.farron_control_overhead * 100.0,
+            r.backoff_secs_per_hour
+        );
+    }
+}

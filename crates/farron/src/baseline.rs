@@ -1,0 +1,80 @@
+//! The Alibaba baseline strategy (§7, "Baseline").
+//!
+//! "SDC tests are conducted both in pre-production and every three months
+//! during production, and in every round of tests, all testcases are
+//! executed sequentially and allocated with equal testing resources. As
+//! for one processor whose core(s) are detected as defective, Alibaba
+//! Cloud deprecates the entire processor."
+
+use sdc_model::Duration;
+use toolchain::{Suite, TestPlan};
+
+/// The baseline regular-testing strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Baseline {
+    /// One-round duration: 60 s for each of the 633 testcases = 10.55 h.
+    pub per_testcase: Duration,
+    /// Regular-test cadence.
+    pub cadence: Duration,
+}
+
+impl Default for Baseline {
+    fn default() -> Self {
+        Baseline {
+            per_testcase: Duration::from_secs(60),
+            cadence: Duration::from_days(90),
+        }
+    }
+}
+
+impl Baseline {
+    /// The equal-allocation sequential plan.
+    pub fn plan(&self, suite: &Suite) -> TestPlan {
+        let total = self.per_testcase * suite.len() as u64;
+        TestPlan::equal_allocation(suite, total)
+    }
+
+    /// One-round duration.
+    pub fn round_duration(&self, suite: &Suite) -> Duration {
+        self.per_testcase * suite.len() as u64
+    }
+
+    /// Testing overhead: round duration over the cadence (paper: 0.488%).
+    pub fn test_overhead(&self, suite: &Suite) -> f64 {
+        self.round_duration(suite).as_secs_f64() / self.cadence.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_is_10_55_hours() {
+        let suite = Suite::standard();
+        let b = Baseline::default();
+        assert!((b.round_duration(&suite).as_hours_f64() - 10.55).abs() < 0.001);
+    }
+
+    #[test]
+    fn overhead_matches_table4() {
+        let suite = Suite::standard();
+        let b = Baseline::default();
+        let overhead = b.test_overhead(&suite) * 100.0;
+        assert!(
+            (overhead - 0.488).abs() < 0.005,
+            "baseline overhead {overhead}%"
+        );
+    }
+
+    #[test]
+    fn plan_is_equal_allocation() {
+        let suite = Suite::standard();
+        let plan = Baseline::default().plan(&suite);
+        assert_eq!(plan.entries.len(), 633);
+        assert!(plan
+            .entries
+            .iter()
+            .all(|e| e.duration == Duration::from_secs(60)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Fleet-capacity accounting for decommission policies (§3.2).
+//!
+//! "Large companies decommission the whole faulty processor or isolate
+//! the whole machine no matter which of its cores are identified as
+//! faulty … it could be worthwhile to investigate the feasibility of
+//! continuing to utilize the unaffected cores within a faulty processor"
+//! (the Hyrax fail-in-place direction the paper cites). This module
+//! computes how much core capacity each policy retains over a set of
+//! detected-faulty processors.
+
+use crate::decommission::{decide, DecommissionDecision};
+use silicon::Processor;
+
+/// Capacity retained by one decommission policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CapacityReport {
+    /// Faulty processors considered.
+    pub processors: usize,
+    /// Total physical cores on them.
+    pub total_cores: u64,
+    /// Cores kept serving under whole-processor decommission (always 0).
+    pub whole_processor_retained: u64,
+    /// Cores kept serving under fine-grained decommission.
+    pub fine_grained_retained: u64,
+    /// Processors deprecated even under the fine-grained policy (> 2
+    /// defective cores).
+    pub deprecated_anyway: usize,
+}
+
+impl CapacityReport {
+    /// Fraction of faulty-processor capacity the fine-grained policy
+    /// saves.
+    pub fn saved_fraction(&self) -> f64 {
+        if self.total_cores == 0 {
+            0.0
+        } else {
+            self.fine_grained_retained as f64 / self.total_cores as f64
+        }
+    }
+}
+
+/// Evaluates both policies over `faulty` processors, using each
+/// processor's *detected* defective cores.
+pub fn capacity_report<'a>(faulty: impl IntoIterator<Item = &'a Processor>) -> CapacityReport {
+    let mut report = CapacityReport::default();
+    for p in faulty {
+        report.processors += 1;
+        report.total_cores += p.physical_cores as u64;
+        match decide(&p.defective_cores()) {
+            DecommissionDecision::MaskCores(masked) => {
+                report.fine_grained_retained += p.physical_cores as u64 - masked.len() as u64;
+            }
+            DecommissionDecision::DeprecateProcessor => {
+                report.deprecated_anyway += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silicon::catalog;
+
+    #[test]
+    fn deep_study_set_capacity() {
+        let set = catalog::deep_study_set();
+        let processors: Vec<&Processor> = set.iter().map(|c| &c.processor).collect();
+        let report = capacity_report(processors.iter().copied());
+        assert_eq!(report.processors, 27);
+        assert_eq!(report.whole_processor_retained, 0);
+        // Roughly half the set is single-core-defective (Observation 4):
+        // the fine-grained policy retains a large majority of their cores.
+        assert!(
+            report.saved_fraction() > 0.35,
+            "fine-grained policy saves {:.0}% of faulty capacity",
+            report.saved_fraction() * 100.0
+        );
+        // All-core-defective processors are deprecated under either policy.
+        assert!(report.deprecated_anyway > 5);
+        assert!(report.deprecated_anyway < 27);
+    }
+
+    #[test]
+    fn single_core_defect_keeps_nearly_everything() {
+        let fpu1 = catalog::by_name("FPU1").unwrap().processor;
+        let report = capacity_report([&fpu1]);
+        assert_eq!(report.total_cores, fpu1.physical_cores as u64);
+        assert_eq!(report.fine_grained_retained, fpu1.physical_cores as u64 - 1);
+        assert_eq!(report.deprecated_anyway, 0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let report = capacity_report(std::iter::empty());
+        assert_eq!(report, CapacityReport::default());
+        assert_eq!(report.saved_fraction(), 0.0);
+    }
+}

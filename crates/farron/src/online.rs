@@ -1,0 +1,425 @@
+//! The online state: application execution under triggering-condition
+//! control.
+//!
+//! §7.2: "We simulate workloads affected by these errors using our
+//! toolchain for hours and find these workloads do not trigger SDCs with
+//! the protection of Farron. During the procedure, Farron's workload
+//! backoff was triggered 0.864 seconds per hour on average, keeping the
+//! temperature under 59 ℃."
+//!
+//! The simulation drives an application-shaped workload (a toolchain
+//! testcase profile with a bursty utilization trace) on a defective
+//! processor's available cores: each time chunk updates the thermal
+//! model, feeds the hottest core temperature to the adaptive boundary,
+//! backs the workload off when told to, and accumulates SDC events from
+//! the defect trigger model at the realized temperatures.
+
+use crate::boundary::{AdaptiveBoundary, BoundaryAction};
+use fleet::screening::StaticProfile;
+use sdc_model::{DetRng, Duration, TestcaseId};
+use serde::{Deserialize, Serialize};
+use silicon::defect::DefectKind;
+use silicon::Processor;
+use thermal::{ThermalConfig, ThermalModel};
+use toolchain::Suite;
+
+/// The protected application's workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct AppProfile {
+    /// The toolchain testcase standing in for the impacted workload
+    /// ("we simulate workloads affected by these errors using our
+    /// toolchain").
+    pub testcase: TestcaseId,
+    /// Mean utilization (0..=1).
+    pub utilization: f64,
+    /// Burst amplitude on top of the mean (0..=1).
+    pub burst_amplitude: f64,
+    /// Burst period.
+    pub burst_period: Duration,
+    /// Per-chunk probability of a full-utilization spike (request storms);
+    /// these are what occasionally pushes the die past the boundary and
+    /// triggers the rare backoffs of Table 4's Control column.
+    pub spike_prob: f64,
+}
+
+/// Online-controller parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Simulated duration.
+    pub duration: Duration,
+    /// Control interval.
+    pub chunk: Duration,
+    /// Initial temperature boundary.
+    pub boundary_init_c: f64,
+    /// Boundary learning window (observations).
+    pub window: usize,
+    /// Hard maximum the boundary may learn up to.
+    pub max_boundary_c: f64,
+    /// Utilization multiplier while backing off.
+    pub backoff_factor: f64,
+    /// Whether the boundary/backoff controller is active (false = the
+    /// unprotected baseline).
+    pub protected: bool,
+    /// Which actuator the controller drives on a boundary excursion.
+    pub control: ControlMode,
+    /// Virtual clock (Hz) for translating utilization into retire rates.
+    pub clock_hz: f64,
+}
+
+/// The two temperature-control actuators of §5: "We can control the
+/// temperature by either controlling the cooling devices or by limiting
+/// the CPU utilization of the workloads (called 'workload backoff'). The
+/// former has no impact on application performance, but unfortunately it
+/// is not widely applicable in Alibaba Cloud yet, so this work explores
+/// the latter." Both are implemented here so the trade-off is measurable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControlMode {
+    /// Limit workload utilization (the paper's deployed mechanism; costs
+    /// application performance while active).
+    WorkloadBackoff,
+    /// Boost the cooling devices (ACPI-style fan/pump control; no
+    /// performance impact, not universally available).
+    CoolingDevice {
+        /// Thermal-resistance multiplier while boosted (< 1 cools).
+        boost_factor: f64,
+    },
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            duration: Duration::from_hours(8),
+            chunk: Duration::from_secs(1),
+            boundary_init_c: 48.0,
+            window: 12,
+            max_boundary_c: 57.0,
+            backoff_factor: 0.5,
+            protected: true,
+            control: ControlMode::WorkloadBackoff,
+            clock_hz: 1e7,
+        }
+    }
+}
+
+/// What the online simulation measured.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineReport {
+    /// Seconds of control actuation per simulated hour (paper: 0.864 s/h
+    /// of workload backoff).
+    pub backoff_secs_per_hour: f64,
+    /// Fraction of time the actuator was engaged (Table 4's "Control").
+    pub backoff_fraction: f64,
+    /// Hottest temperature reached (paper: kept under 59 ℃).
+    pub max_temp_c: f64,
+    /// SDC events produced during the simulation.
+    pub sdc_events: u64,
+    /// Final learned boundary.
+    pub boundary_final_c: f64,
+    /// Application throughput lost to control, as a fraction of the
+    /// uncontrolled utilization-time integral (zero for cooling-device
+    /// control — its whole point).
+    pub performance_loss: f64,
+}
+
+/// Simulates the online state of `processor` running `app` on `cores`.
+pub fn simulate_online(
+    processor: &Processor,
+    suite: &Suite,
+    app: &AppProfile,
+    cores: &[u16],
+    cfg: &OnlineConfig,
+    rng: &mut DetRng,
+) -> OnlineReport {
+    assert!(!cores.is_empty(), "application needs cores");
+    let tc = suite.get(app.testcase);
+    let profile = StaticProfile::of(tc, cores.len());
+    let mut thermal =
+        ThermalModel::new(processor.physical_cores as usize, ThermalConfig::default());
+    let mut boundary = AdaptiveBoundary::new(cfg.boundary_init_c, cfg.window, cfg.max_boundary_c);
+    let mut backoff_time = Duration::ZERO;
+    let mut elapsed = Duration::ZERO;
+    let mut max_temp = f64::NEG_INFINITY;
+    let mut sdc_events = 0u64;
+    let mut backing_off = false;
+    let mut util_served = 0.0f64;
+    let mut util_offered = 0.0f64;
+
+    while elapsed < cfg.duration {
+        let dt = std::cmp::min(cfg.chunk, cfg.duration - elapsed);
+        // Bursty utilization trace.
+        let phase = elapsed.as_secs_f64() / app.burst_period.as_secs_f64().max(1e-9);
+        let burst = app.burst_amplitude * (std::f64::consts::TAU * phase).sin().max(0.0);
+        let mut util = (app.utilization + burst).clamp(0.0, 1.0);
+        if rng.chance(app.spike_prob) {
+            util = 1.0;
+        }
+        let offered = util;
+        if backing_off {
+            backoff_time += dt;
+            match cfg.control {
+                ControlMode::WorkloadBackoff => util *= cfg.backoff_factor,
+                ControlMode::CoolingDevice { boost_factor } => {
+                    thermal.set_cooling_factor(boost_factor.clamp(0.05, 1.0));
+                }
+            }
+        } else if matches!(cfg.control, ControlMode::CoolingDevice { .. }) {
+            thermal.set_cooling_factor(1.0);
+        }
+        util_offered += offered * dt.as_secs_f64();
+        util_served += util * dt.as_secs_f64();
+        for pc in 0..processor.physical_cores {
+            let p = if cores.contains(&pc) {
+                profile.power * util
+            } else {
+                0.0
+            };
+            thermal.set_power(pc as usize, p);
+        }
+        thermal.advance(dt);
+        let hottest = cores
+            .iter()
+            .map(|&c| thermal.temp(c as usize))
+            .fold(f64::NEG_INFINITY, f64::max);
+        max_temp = max_temp.max(hottest);
+
+        if cfg.protected {
+            backing_off = matches!(boundary.observe(hottest), BoundaryAction::Backoff);
+        }
+
+        // SDC events at the realized temperature and utilization.
+        let dt_secs = dt.as_secs_f64();
+        for defect in &processor.defects {
+            if !defect.applies_to(app.testcase) {
+                continue;
+            }
+            for &pc in cores {
+                let temp = thermal.temp(pc as usize);
+                let rate = defect.rate(pc, temp);
+                if rate <= 0.0 {
+                    continue;
+                }
+                let events_per_cycle = match &defect.kind {
+                    DefectKind::Computation { .. } => profile
+                        .sites_per_cycle
+                        .iter()
+                        .filter(|((class, dt_), _)| defect.matches(*class, *dt_))
+                        .map(|(_, v)| v)
+                        .sum::<f64>(),
+                    DefectKind::CoherenceDrop => profile.invalidations_per_cycle,
+                    DefectKind::TxIsolation => profile.tx_conflicts_per_cycle,
+                };
+                let lambda = events_per_cycle * cfg.clock_hz * util * rate * dt_secs;
+                sdc_events += rng.poisson(lambda);
+            }
+        }
+        elapsed += dt;
+    }
+    let hours = cfg.duration.as_hours_f64().max(1e-9);
+    OnlineReport {
+        backoff_secs_per_hour: backoff_time.as_secs_f64() / hours,
+        backoff_fraction: backoff_time.as_secs_f64() / cfg.duration.as_secs_f64().max(1e-9),
+        max_temp_c: if max_temp.is_finite() { max_temp } else { 0.0 },
+        sdc_events,
+        boundary_final_c: boundary.boundary_c(),
+        performance_loss: if util_offered > 0.0 {
+            1.0 - util_served / util_offered
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silicon::catalog;
+
+    fn app(suite: &Suite, prefix: &str) -> AppProfile {
+        AppProfile {
+            testcase: suite
+                .testcases()
+                .iter()
+                .find(|t| t.name.starts_with(prefix))
+                .expect("testcase")
+                .id,
+            utilization: 0.55,
+            burst_amplitude: 0.45,
+            burst_period: Duration::from_secs(120),
+            spike_prob: 0.002,
+        }
+    }
+
+    #[test]
+    fn protection_keeps_tricky_defect_silent() {
+        // MIX1's tricky defect gates at 59 ℃; Farron's boundary is capped
+        // there, so the protected run must see no tricky SDC events.
+        let suite = Suite::standard();
+        let mix1 = catalog::by_name("MIX1").unwrap().processor;
+        // An application that exercises float division (the tricky class)
+        // but not the apparent defect's vector/CRC classes.
+        let profile = app(&suite, "fpu/f64/fam2");
+        let cores: Vec<u16> = (0..16).collect();
+        let mut rng = DetRng::new(1);
+
+        let protected = simulate_online(
+            &mix1,
+            &suite,
+            &profile,
+            &cores,
+            &OnlineConfig::default(),
+            &mut rng,
+        );
+        assert!(
+            protected.max_temp_c < 59.0,
+            "kept under 59 ℃: {}",
+            protected.max_temp_c
+        );
+        assert_eq!(protected.sdc_events, 0, "no SDCs under protection");
+
+        let unprotected = simulate_online(
+            &mix1,
+            &suite,
+            &profile,
+            &cores,
+            &OnlineConfig {
+                protected: false,
+                ..OnlineConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(
+            unprotected.max_temp_c > protected.max_temp_c,
+            "uncontrolled run gets hotter"
+        );
+    }
+
+    #[test]
+    fn backoff_is_rare_after_learning() {
+        let suite = Suite::standard();
+        let fpu2 = catalog::by_name("FPU2").unwrap().processor;
+        // A moderate application that stays inside the 59 ℃ envelope.
+        let profile = AppProfile {
+            utilization: 0.35,
+            burst_amplitude: 0.2,
+            ..app(&suite, "alu/i32")
+        };
+        let cores: Vec<u16> = (0..24).collect();
+        let mut rng = DetRng::new(2);
+        let report = simulate_online(
+            &fpu2,
+            &suite,
+            &profile,
+            &cores,
+            &OnlineConfig::default(),
+            &mut rng,
+        );
+        // The paper reports 0.864 s/h; require the same order of
+        // magnitude (well under a minute per hour).
+        assert!(
+            report.backoff_secs_per_hour < 60.0,
+            "backoff {} s/h",
+            report.backoff_secs_per_hour
+        );
+    }
+
+    #[test]
+    fn unprotected_run_never_backs_off() {
+        let suite = Suite::standard();
+        let cnst1 = catalog::by_name("CNST1").unwrap().processor;
+        let profile = app(&suite, "alu/crc32");
+        let mut rng = DetRng::new(3);
+        let report = simulate_online(
+            &cnst1,
+            &suite,
+            &profile,
+            &[4, 5],
+            &OnlineConfig {
+                protected: false,
+                ..OnlineConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(report.backoff_secs_per_hour, 0.0);
+    }
+
+    #[test]
+    fn cooling_device_controls_temperature_without_performance_loss() {
+        // §5: cooling-device control "has no impact on application
+        // performance" — same protection, zero throughput loss.
+        let suite = Suite::standard();
+        let mix1 = catalog::by_name("MIX1").unwrap().processor;
+        let profile = AppProfile {
+            utilization: 0.5,
+            burst_amplitude: 0.3,
+            ..app(&suite, "fpu/f64/fam2")
+        };
+        let cores: Vec<u16> = (0..16).collect();
+        let base = OnlineConfig {
+            duration: Duration::from_hours(2),
+            ..OnlineConfig::default()
+        };
+
+        let mut rng = DetRng::new(11);
+        let backoff = simulate_online(&mix1, &suite, &profile, &cores, &base, &mut rng);
+        let mut rng2 = DetRng::new(11);
+        let cooling = simulate_online(
+            &mix1,
+            &suite,
+            &profile,
+            &cores,
+            &OnlineConfig {
+                control: ControlMode::CoolingDevice { boost_factor: 0.5 },
+                ..base
+            },
+            &mut rng2,
+        );
+        // Both keep the die under MIX1's 59 ℃ gate…
+        assert!(
+            backoff.max_temp_c < 59.5,
+            "backoff peak {}",
+            backoff.max_temp_c
+        );
+        assert!(
+            cooling.max_temp_c < 59.5,
+            "cooling peak {}",
+            cooling.max_temp_c
+        );
+        // …but only workload backoff costs throughput.
+        assert!(
+            backoff.performance_loss > 0.0,
+            "backoff trades performance: {}",
+            backoff.performance_loss
+        );
+        assert_eq!(
+            cooling.performance_loss, 0.0,
+            "cooling devices cost no application performance"
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let suite = Suite::standard();
+        let mix2 = catalog::by_name("MIX2").unwrap().processor;
+        let profile = app(&suite, "alu/hash64");
+        let run = |seed| {
+            let mut rng = DetRng::new(seed);
+            let r = simulate_online(
+                &mix2,
+                &suite,
+                &profile,
+                &[0, 1, 2, 3],
+                &OnlineConfig {
+                    duration: Duration::from_hours(1),
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            (
+                r.sdc_events,
+                r.max_temp_c.to_bits(),
+                r.backoff_secs_per_hour.to_bits(),
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

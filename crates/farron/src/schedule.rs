@@ -1,0 +1,208 @@
+//! Efficiency-focused test scheduling (§7.1).
+//!
+//! Farron "mainly allocates testing resources to testcases whose targeted
+//! feature is utilized by the protected application, focusing on those
+//! marked as 'suspected' (if any) and 'active'. Remaining testcases are
+//! tested in a best-effort mode." Regular test duration further scales
+//! with the adaptive temperature boundary: a cooler learned boundary
+//! means the application never exercises high-temperature conditions, so
+//! less testing time is needed to cover them.
+
+use crate::priority::{PriorityBook, TestPriority};
+use sdc_model::{CpuId, Duration, Feature};
+use toolchain::{PlanEntry, Suite, TestPlan};
+
+/// Farron's regular-round scheduler.
+///
+/// Slots are budgeted: the suspected and active pools each split a fixed
+/// time budget across their members (clamped per testcase), so the round
+/// stays near one hour whether a processor has three suspected testcases
+/// or eighty.
+#[derive(Debug, Clone, Copy)]
+pub struct FarronScheduler {
+    /// Total budget for suspected testcases.
+    pub suspected_budget: Duration,
+    /// Per-testcase clamp for suspected slots (min, max).
+    pub suspected_clamp: (Duration, Duration),
+    /// Total budget for active testcases targeting application features.
+    pub active_budget: Duration,
+    /// Per-testcase clamp for active slots (min, max).
+    pub active_clamp: (Duration, Duration),
+    /// Best-effort slot for everything else.
+    pub best_effort_slot: Duration,
+}
+
+impl Default for FarronScheduler {
+    fn default() -> Self {
+        FarronScheduler {
+            suspected_budget: Duration::from_mins(45),
+            suspected_clamp: (Duration::from_secs(90), Duration::from_mins(5)),
+            active_budget: Duration::from_mins(20),
+            active_clamp: (Duration::from_secs(10), Duration::from_secs(90)),
+            best_effort_slot: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// Splits `budget` across `n` testcases, clamped per testcase.
+fn split(budget: Duration, n: usize, clamp: (Duration, Duration)) -> Duration {
+    if n == 0 {
+        return clamp.1;
+    }
+    let each = budget / n as u64;
+    each.max(clamp.0).min(clamp.1)
+}
+
+impl FarronScheduler {
+    /// Duration multiplier from the learned temperature boundary: at or
+    /// below 50 ℃ only 40% of the nominal slots are needed; the factor
+    /// reaches 1.0 at 75 ℃ (Observation 10: higher working temperatures
+    /// demand longer testing).
+    pub fn boundary_factor(boundary_c: f64) -> f64 {
+        (0.4 + 0.6 * (boundary_c - 50.0) / 25.0).clamp(0.4, 1.2)
+    }
+
+    /// Builds the prioritized plan for one processor.
+    ///
+    /// Suspected testcases come first (longest slots), then active
+    /// testcases targeting the application's features, then everything
+    /// else in best-effort mode.
+    pub fn plan(
+        &self,
+        suite: &Suite,
+        book: &PriorityBook,
+        cpu: CpuId,
+        app_features: &[Feature],
+        boundary_c: f64,
+    ) -> TestPlan {
+        let factor = Self::boundary_factor(boundary_c);
+        let scale = |d: Duration| Duration::from_secs_f64(d.as_secs_f64() * factor);
+        let mut suspected_ids = Vec::new();
+        let mut active_ids = Vec::new();
+        let mut rest = Vec::new();
+        for tc in suite.testcases() {
+            match book.priority(cpu.0, tc.id) {
+                TestPriority::Suspected => suspected_ids.push(tc.id),
+                TestPriority::Active if app_features.contains(&tc.feature) => {
+                    active_ids.push(tc.id)
+                }
+                _ => rest.push(PlanEntry {
+                    testcase: tc.id,
+                    duration: self.best_effort_slot,
+                }),
+            }
+        }
+        // Suspected testcases are confirmed reproducers on this very
+        // processor; their slots are not reduced by a cool boundary.
+        let s_slot = split(
+            self.suspected_budget,
+            suspected_ids.len(),
+            self.suspected_clamp,
+        );
+        let a_slot = scale(split(
+            self.active_budget,
+            active_ids.len(),
+            self.active_clamp,
+        ));
+        let mut entries: Vec<PlanEntry> = suspected_ids
+            .into_iter()
+            .map(|testcase| PlanEntry {
+                testcase,
+                duration: s_slot,
+            })
+            .collect();
+        entries.extend(active_ids.into_iter().map(|testcase| PlanEntry {
+            testcase,
+            duration: a_slot,
+        }));
+        entries.extend(rest);
+        TestPlan { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_model::TestcaseId;
+
+    #[test]
+    fn boundary_factor_shape() {
+        assert_eq!(FarronScheduler::boundary_factor(45.0), 0.4);
+        assert_eq!(FarronScheduler::boundary_factor(50.0), 0.4);
+        assert!((FarronScheduler::boundary_factor(75.0) - 1.0).abs() < 1e-12);
+        assert_eq!(FarronScheduler::boundary_factor(100.0), 1.2);
+    }
+
+    #[test]
+    fn plan_orders_by_priority_and_scales() {
+        let suite = Suite::standard();
+        let mut book = PriorityBook::new();
+        let cpu = CpuId(1);
+        // One suspected testcase, a handful of active FPU testcases.
+        let fpu = suite.by_feature(Feature::Fpu);
+        book.record_processor_detection(cpu.0, fpu[0]);
+        for &id in &fpu[1..5] {
+            book.record_fleet_detection(id);
+        }
+        // And an active testcase of a feature the app does not use.
+        let trx = suite.by_feature(Feature::TrxMem);
+        book.record_fleet_detection(trx[0]);
+
+        let sched = FarronScheduler::default();
+        let plan = sched.plan(&suite, &book, cpu, &[Feature::Fpu], 62.5);
+        assert_eq!(
+            plan.entries.len(),
+            suite.len(),
+            "everything gets at least best effort"
+        );
+        // Suspected first with the longest slot (one suspected testcase:
+        // budget clamps to the 5-minute maximum, unscaled).
+        assert_eq!(plan.entries[0].testcase, fpu[0]);
+        assert_eq!(plan.entries[0].duration, Duration::from_mins(5));
+        // Active app-feature testcases next.
+        for e in &plan.entries[1..5] {
+            assert!(fpu[1..5].contains(&e.testcase));
+            assert!(e.duration > sched.best_effort_slot);
+        }
+        // The non-app active testcase is best-effort only.
+        let trx_entry = plan
+            .entries
+            .iter()
+            .find(|e| e.testcase == trx[0])
+            .expect("present");
+        assert_eq!(trx_entry.duration, sched.best_effort_slot);
+    }
+
+    #[test]
+    fn farron_round_is_an_order_of_magnitude_shorter_than_baseline() {
+        let suite = Suite::standard();
+        let mut book = PriorityBook::new();
+        let cpu = CpuId(2);
+        // Fleet history at the Observation-11 scale: 73 effective
+        // testcases, a few suspected on this CPU.
+        for tc in suite.testcases().iter().take(73) {
+            book.record_fleet_detection(tc.id);
+        }
+        book.record_processor_detection(cpu.0, TestcaseId(0));
+        let plan = FarronScheduler::default().plan(
+            &suite,
+            &book,
+            cpu,
+            &[Feature::Alu, Feature::Fpu],
+            60.0,
+        );
+        let farron_h = plan.total_duration().as_hours_f64();
+        let baseline_h = TestPlan::equal_allocation(&suite, Duration::from_mins(633))
+            .total_duration()
+            .as_hours_f64();
+        assert!((baseline_h - 10.55).abs() < 0.01, "baseline {baseline_h} h");
+        assert!(
+            farron_h < baseline_h / 5.0,
+            "farron {farron_h} h vs baseline {baseline_h} h"
+        );
+        assert!(
+            (0.3..3.0).contains(&farron_h),
+            "farron round ≈ 1 h, got {farron_h}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for Farron's control and scheduling components.
+
+use farron::boundary::{AdaptiveBoundary, BoundaryAction};
+use farron::decommission::{decide, DecommissionDecision, ReliablePool};
+use farron::priority::PriorityBook;
+use farron::schedule::FarronScheduler;
+use proptest::prelude::*;
+use sdc_model::{CoreId, CpuId, TestcaseId};
+use std::sync::OnceLock;
+use toolchain::Suite;
+
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(Suite::standard)
+}
+
+proptest! {
+    #[test]
+    fn boundary_never_exceeds_its_maximum(
+        initial in 45f64..58.0,
+        maximum in 58f64..80.0,
+        temps in prop::collection::vec(40f64..100.0, 1..300),
+    ) {
+        let mut b = AdaptiveBoundary::new(initial, 10, maximum);
+        for t in temps {
+            let _ = b.observe(t);
+            prop_assert!(b.boundary_c() <= maximum + 1e-9);
+            prop_assert!(b.boundary_c() >= initial - 1e-9, "boundary never lowers");
+        }
+    }
+
+    #[test]
+    fn boundary_backoff_only_fires_above_boundary(
+        temps in prop::collection::vec(40f64..100.0, 1..200),
+    ) {
+        let mut b = AdaptiveBoundary::new(50.0, 8, 70.0);
+        for t in temps {
+            let boundary_before = b.boundary_c();
+            let action = b.observe(t);
+            if action == BoundaryAction::Backoff {
+                // Backoff implies the temperature exceeded even the
+                // *raised* boundary (plus hysteresis margin ≥ 0).
+                prop_assert!(t > boundary_before, "backoff at {t} ≤ {boundary_before}");
+            }
+        }
+    }
+
+    #[test]
+    fn decommission_rule_matches_distinct_core_count(
+        cores in prop::collection::vec(0u16..48, 0..12),
+    ) {
+        let core_ids: Vec<CoreId> = cores.iter().map(|&c| CoreId(c)).collect();
+        let distinct: std::collections::BTreeSet<u16> = cores.iter().copied().collect();
+        match decide(&core_ids) {
+            DecommissionDecision::MaskCores(masked) => {
+                prop_assert!(distinct.len() <= 2);
+                prop_assert_eq!(masked.len(), distinct.len());
+            }
+            DecommissionDecision::DeprecateProcessor => {
+                prop_assert!(distinct.len() > 2);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_capacity_accounting_is_consistent(
+        cores in prop::collection::vec(0u16..16, 0..6),
+        total in 16u16..64,
+    ) {
+        let core_ids: Vec<CoreId> = cores.iter().map(|&c| CoreId(c)).collect();
+        let mut pool = ReliablePool::new();
+        let decision = decide(&core_ids);
+        pool.apply(CpuId(1), &decision);
+        let available = pool.available_cores(CpuId(1), total);
+        match decision {
+            DecommissionDecision::MaskCores(masked) => {
+                prop_assert_eq!(available.len(), (total as usize) - masked.len());
+                for m in &masked {
+                    prop_assert!(!available.contains(m));
+                }
+            }
+            DecommissionDecision::DeprecateProcessor => {
+                prop_assert!(available.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn plans_always_cover_the_whole_suite(
+        suspected in prop::collection::vec(0u32..633, 0..40),
+        actives in prop::collection::vec(0u32..633, 0..80),
+        boundary in 45f64..75.0,
+    ) {
+        let mut book = PriorityBook::new();
+        let cpu = CpuId(9);
+        for &t in &suspected {
+            book.record_processor_detection(cpu.0, TestcaseId(t));
+        }
+        for &t in &actives {
+            book.record_fleet_detection(TestcaseId(t));
+        }
+        let plan = FarronScheduler::default().plan(
+            suite(),
+            &book,
+            cpu,
+            &[sdc_model::Feature::Fpu, sdc_model::Feature::Alu],
+            boundary,
+        );
+        // Every testcase appears exactly once.
+        let mut ids: Vec<u32> = plan.entries.iter().map(|e| e.testcase.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids.len(), 633);
+        ids.dedup();
+        prop_assert_eq!(ids.len(), 633);
+        // Suspected testcases get the largest slots.
+        let max_rest = plan
+            .entries
+            .iter()
+            .filter(|e| !suspected.contains(&e.testcase.0))
+            .map(|e| e.duration)
+            .max();
+        for e in &plan.entries {
+            if suspected.contains(&e.testcase.0) {
+                if let Some(rest) = max_rest {
+                    prop_assert!(e.duration >= rest, "suspected slot below others");
+                }
+            }
+        }
+        // And the round stays far below the 10.55 h baseline.
+        prop_assert!(plan.total_duration().as_hours_f64() < 5.0);
+    }
+}

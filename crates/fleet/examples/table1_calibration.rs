@@ -1,0 +1,20 @@
+//! Calibration check: the full-scale fleet campaign's Tables 1 and 2.
+//!
+//! ```text
+//! cargo run --release -p fleet --example table1_calibration
+//! ```
+
+fn main() {
+    let cfg = fleet::FleetConfig {
+        total_cpus: 1_050_000,
+        seed: 2021,
+    };
+    let out = fleet::run_campaign(&cfg, &toolchain::Suite::standard());
+    for (l, r) in out.table1() {
+        println!("{l}: {r:.3} bp");
+    }
+    println!("escaped: {}", out.escaped());
+    for (l, r) in out.table2() {
+        println!("{l}: {r:.3} bp");
+    }
+}

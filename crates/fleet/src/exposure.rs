@@ -1,0 +1,116 @@
+//! Production exposure windows (§3.1).
+//!
+//! "Despite all SDC tests, we still encounter SDC issues that affect
+//! Alibaba Cloud services … This can be attributed to the window between
+//! regular SDC tests and the non-determinism of reproducing SDCs.
+//! Addressing this issue is challenging, as it is not feasible to perform
+//! regular SDC tests frequently."
+//!
+//! Given a campaign outcome, this module quantifies that window: for each
+//! defective processor that reached production (caught late by a regular
+//! round, or never caught), how long did it serve traffic with an active
+//! defect? The numbers motivate exactly Farron's position — testing alone
+//! leaves a long exposure tail, so run-time triggering-condition control
+//! has to carry part of the load.
+
+use crate::campaign::{CampaignOutcome, Fate};
+use crate::lifecycle::Stage;
+
+/// Exposure statistics over one campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExposureReport {
+    /// Defective processors that reached production at all (not caught
+    /// pre-production).
+    pub reached_production: u64,
+    /// Of those, caught later by regular testing.
+    pub caught_by_regular: u64,
+    /// Of those, never caught (exposed for their whole service life).
+    pub never_caught: u64,
+    /// Mean exposure of the regular-caught population, in days (from
+    /// production entry to the catching round).
+    pub mean_exposure_days_caught: f64,
+    /// Worst-case exposure among the regular-caught population, days.
+    pub max_exposure_days_caught: f64,
+}
+
+/// Days between production entry and regular round `round` (rounds run
+/// every three months starting one quarter in).
+fn round_exposure_days(round: u32) -> f64 {
+    90.0 * (round as f64 + 1.0)
+}
+
+/// Computes the exposure report for a campaign.
+pub fn exposure_report(outcome: &CampaignOutcome) -> ExposureReport {
+    let mut report = ExposureReport::default();
+    let mut total_days = 0.0f64;
+    for &(_, fate) in &outcome.fates {
+        match fate {
+            Fate::Caught(Stage::Regular, round) => {
+                report.reached_production += 1;
+                report.caught_by_regular += 1;
+                let days = round_exposure_days(round);
+                total_days += days;
+                report.max_exposure_days_caught = report.max_exposure_days_caught.max(days);
+            }
+            Fate::Escaped => {
+                report.reached_production += 1;
+                report.never_caught += 1;
+            }
+            Fate::Caught(_, _) => {}
+        }
+    }
+    if report.caught_by_regular > 0 {
+        report.mean_exposure_days_caught = total_days / report.caught_by_regular as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_campaign, FleetConfig};
+    use toolchain::Suite;
+
+    #[test]
+    fn campaign_exposure_tail_is_substantial() {
+        let out = run_campaign(
+            &FleetConfig {
+                total_cpus: 400_000,
+                seed: 2021,
+            },
+            &Suite::standard(),
+        );
+        let report = exposure_report(&out);
+        // Some defective processors reach production (Observation 2).
+        assert!(report.reached_production > 0);
+        assert!(report.caught_by_regular > 0);
+        // The window between regular tests means the *minimum* exposure
+        // is a whole quarter.
+        assert!(report.mean_exposure_days_caught >= 90.0);
+        // And some serve with an active defect for multiple quarters.
+        assert!(
+            report.max_exposure_days_caught >= 180.0,
+            "max exposure {} days",
+            report.max_exposure_days_caught
+        );
+        // Escapees are exposed indefinitely — the population Farron's
+        // run-time controls exist for.
+        assert!(report.never_caught > 0);
+    }
+
+    #[test]
+    fn empty_outcome_is_zero() {
+        let out = CampaignOutcome {
+            total_cpus: 0,
+            per_arch_total: vec![],
+            fates: vec![],
+        };
+        assert_eq!(exposure_report(&out), ExposureReport::default());
+    }
+
+    #[test]
+    fn round_exposure_scale() {
+        assert_eq!(round_exposure_days(0), 90.0);
+        assert_eq!(round_exposure_days(3), 360.0);
+    }
+}

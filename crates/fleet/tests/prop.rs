@@ -1,0 +1,118 @@
+//! Property-based tests for fleet screening and campaigns.
+
+use fleet::screening::{stage_detection_probability, StaticProfile, StaticSuiteProfile};
+use fleet::{FleetConfig, FleetPopulation, Stage, StageSpec};
+use proptest::prelude::*;
+use sdc_model::Duration;
+use silicon::Processor;
+use std::sync::OnceLock;
+use toolchain::Suite;
+
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(Suite::standard)
+}
+
+fn profiles16() -> &'static StaticSuiteProfile {
+    static P: OnceLock<StaticSuiteProfile> = OnceLock::new();
+    P.get_or_init(|| StaticSuiteProfile::build(suite(), 16))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn detection_probability_is_a_probability(seed in any::<u64>(), secs in 1u64..600) {
+        let mut rng = sdc_model::DetRng::new(seed);
+        let p = silicon::population::sample_faulty_processor(
+            sdc_model::CpuId(1),
+            sdc_model::ArchId(2),
+            &mut rng,
+        );
+        let spec = StageSpec {
+            stage: Stage::Reinstall,
+            per_testcase: Duration::from_secs(secs),
+            temp_offset_c: 0.0,
+            suite_stride: 1,
+            age_years: 0.12,
+        };
+        let prob = stage_detection_probability(&p, suite(), profiles16(), &spec, 1e7);
+        prop_assert!((0.0..=1.0).contains(&prob), "probability {prob}");
+    }
+
+    #[test]
+    fn longer_stages_detect_at_least_as_much(seed in any::<u64>()) {
+        let mut rng = sdc_model::DetRng::new(seed);
+        let p = silicon::population::sample_faulty_processor(
+            sdc_model::CpuId(2),
+            sdc_model::ArchId(2),
+            &mut rng,
+        );
+        let spec = |secs: u64| StageSpec {
+            stage: Stage::Regular,
+            per_testcase: Duration::from_secs(secs),
+            temp_offset_c: 0.0,
+            suite_stride: 1,
+            age_years: 0.25,
+        };
+        let short = stage_detection_probability(&p, suite(), profiles16(), &spec(5), 1e7);
+        let long = stage_detection_probability(&p, suite(), profiles16(), &spec(120), 1e7);
+        prop_assert!(long >= short - 1e-12, "long {long} < short {short}");
+    }
+
+    #[test]
+    fn sparse_strides_detect_no_more_than_the_full_suite(seed in any::<u64>()) {
+        let mut rng = sdc_model::DetRng::new(seed);
+        let p = silicon::population::sample_faulty_processor(
+            sdc_model::CpuId(3),
+            sdc_model::ArchId(2),
+            &mut rng,
+        );
+        let spec = |stride: usize| StageSpec {
+            stage: Stage::Datacenter,
+            per_testcase: Duration::from_secs(30),
+            temp_offset_c: 0.0,
+            suite_stride: stride,
+            age_years: 0.02,
+        };
+        let full = stage_detection_probability(&p, suite(), profiles16(), &spec(1), 1e7);
+        let sparse = stage_detection_probability(&p, suite(), profiles16(), &spec(8), 1e7);
+        prop_assert!(sparse <= full + 1e-12, "sparse {sparse} > full {full}");
+    }
+
+    #[test]
+    fn healthy_processors_are_never_detected(secs in 1u64..3600) {
+        let healthy = Processor::healthy(sdc_model::CpuId(4), sdc_model::ArchId(2), 1.0);
+        let spec = StageSpec {
+            stage: Stage::Factory,
+            per_testcase: Duration::from_secs(secs),
+            temp_offset_c: 10.0,
+            suite_stride: 1,
+            age_years: 0.0,
+        };
+        let p = stage_detection_probability(&healthy, suite(), profiles16(), &spec, 1e7);
+        prop_assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn population_scales_with_fleet_size(size in 20_000u64..200_000, seed in any::<u64>()) {
+        let pop = FleetPopulation::sample(&FleetConfig { total_cpus: size, seed });
+        prop_assert!(pop.total() >= size * 9 / 10);
+        // Prevalence is a few per ten thousand; allow generous slack.
+        let rate = pop.defective.len() as f64 / pop.total() as f64;
+        prop_assert!(rate < 30e-4, "defective rate {rate}");
+    }
+
+    #[test]
+    fn static_profiles_are_finite_and_nonnegative(idx in 0usize..633) {
+        let tc = &suite().testcases()[idx];
+        let profile = StaticProfile::of(tc, 4);
+        prop_assert!(profile.power.is_finite() && profile.power >= 0.0);
+        for &rate in profile.sites_per_cycle.values() {
+            prop_assert!(rate.is_finite() && rate >= 0.0);
+        }
+        prop_assert!(profile.invalidations_per_cycle >= 0.0);
+        prop_assert!(profile.tx_conflicts_per_cycle >= 0.0);
+        prop_assert_eq!(profile.multithread, tc.threads > 1);
+    }
+}

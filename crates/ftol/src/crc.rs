@@ -1,0 +1,99 @@
+//! Cyclic redundancy checks (table-driven CRC-32 and CRC-64).
+
+/// Reflected CRC-32 (IEEE 802.3) lookup table.
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Reflected CRC-64 (ECMA-182) lookup table.
+fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xc96c_5795_d787_0f42
+            } else {
+                crc >> 1
+            };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// CRC-64 (ECMA) of `data`.
+pub fn crc64(data: &[u8]) -> u64 {
+    let table = crc64_table();
+    let mut crc = u64::MAX;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u64) & 0xff) as usize];
+    }
+    crc ^ u64::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn crc64_check_value() {
+        // CRC-64/ECMA check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995d_c9bb_df19_39fa);
+    }
+
+    #[test]
+    fn crc_detects_any_single_bitflip() {
+        let data = b"the quick brown fox".to_vec();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(&[]), 0);
+        assert_eq!(crc64(&[]), 0);
+    }
+}

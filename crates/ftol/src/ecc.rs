@@ -1,0 +1,194 @@
+//! SECDED ECC: extended Hamming(72,64).
+//!
+//! The scheme used for processor caches and DIMMs: corrects any single
+//! bitflip and detects (but cannot correct) double flips. Observation 8's
+//! multi-bit SDCs exceed this envelope — triple flips can even be
+//! *miscorrected* into a third, wrong value — which the audit
+//! demonstrates.
+
+/// A 72-bit SECDED codeword: 64 data bits plus 8 check bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Codeword {
+    /// The 64 data bits (possibly corrupted).
+    pub data: u64,
+    /// Seven Hamming parity bits (low 7) plus the overall parity (bit 7).
+    pub check: u8,
+}
+
+/// Decode outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// Codeword clean; data returned as stored.
+    Clean(u64),
+    /// A single bitflip was corrected.
+    Corrected(u64),
+    /// A double error was detected (uncorrectable).
+    DoubleError,
+}
+
+/// Maps data-bit index (0..64) to its codeword position (1..=72, skipping
+/// power-of-two parity positions).
+fn data_position(i: u32) -> u32 {
+    let mut pos = 1u32;
+    let mut seen = 0;
+    loop {
+        if !pos.is_power_of_two() {
+            if seen == i {
+                return pos;
+            }
+            seen += 1;
+        }
+        pos += 1;
+    }
+}
+
+/// Computes the 7 Hamming parity bits over the data bits.
+fn hamming_parity(data: u64) -> u8 {
+    let mut parity = 0u8;
+    for i in 0..64 {
+        if (data >> i) & 1 == 1 {
+            let pos = data_position(i);
+            for (bit, mask) in [
+                (0u8, 1u32),
+                (1, 2),
+                (2, 4),
+                (3, 8),
+                (4, 16),
+                (5, 32),
+                (6, 64),
+            ] {
+                if pos & mask != 0 {
+                    parity ^= 1 << bit;
+                }
+            }
+        }
+    }
+    parity
+}
+
+/// Encodes 64 data bits into a SECDED codeword.
+pub fn encode(data: u64) -> Codeword {
+    let hamming = hamming_parity(data);
+    let overall = (data.count_ones() + (hamming & 0x7f).count_ones()) as u8 & 1;
+    Codeword {
+        data,
+        check: (hamming & 0x7f) | (overall << 7),
+    }
+}
+
+/// Decodes a (possibly corrupted) codeword.
+pub fn decode(cw: Codeword) -> Decoded {
+    let expect = hamming_parity(cw.data);
+    let syndrome = (expect ^ (cw.check & 0x7f)) as u32;
+    let stored_overall = cw.check >> 7;
+    let actual_overall = (cw.data.count_ones() + (cw.check & 0x7f).count_ones()) as u8 & 1;
+    let overall_ok = stored_overall == actual_overall;
+    match (syndrome, overall_ok) {
+        (0, true) => Decoded::Clean(cw.data),
+        (0, false) => Decoded::Corrected(cw.data), // overall parity bit flipped
+        (_, false) => {
+            // Single error at codeword position `syndrome`.
+            if syndrome.is_power_of_two() {
+                // A parity bit flipped; data is intact.
+                return Decoded::Corrected(cw.data);
+            }
+            // Find which data bit lives at that position.
+            for i in 0..64 {
+                if data_position(i) == syndrome {
+                    return Decoded::Corrected(cw.data ^ (1 << i));
+                }
+            }
+            // Syndrome beyond the codeword: miscorrection territory —
+            // report double error, the honest answer.
+            Decoded::DoubleError
+        }
+        (_, true) => Decoded::DoubleError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for data in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(decode(encode(data)), Decoded::Clean(data));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_flip() {
+        let data = 0x0123_4567_89ab_cdefu64;
+        let cw = encode(data);
+        for bit in 0..64 {
+            let corrupted = Codeword {
+                data: cw.data ^ (1 << bit),
+                check: cw.check,
+            };
+            assert_eq!(decode(corrupted), Decoded::Corrected(data), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn corrects_check_bit_flips() {
+        let data = 42u64;
+        let cw = encode(data);
+        for bit in 0..8 {
+            let corrupted = Codeword {
+                data: cw.data,
+                check: cw.check ^ (1 << bit),
+            };
+            assert_eq!(
+                decode(corrupted),
+                Decoded::Corrected(data),
+                "check bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_double_flips() {
+        let data = 0x5555_aaaa_5555_aaaau64;
+        let cw = encode(data);
+        for (a, b) in [(0u32, 1u32), (3, 40), (10, 63), (31, 32)] {
+            let corrupted = Codeword {
+                data: cw.data ^ (1 << a) ^ (1 << b),
+                check: cw.check,
+            };
+            assert_eq!(decode(corrupted), Decoded::DoubleError, "bits {a},{b}");
+        }
+    }
+
+    #[test]
+    fn triple_flips_can_be_miscorrected() {
+        // Observation 8: multi-bit SDCs exceed the SECDED envelope. A
+        // triple flip has odd parity, so the decoder believes it is a
+        // single error and "corrects" toward a wrong codeword for at
+        // least some triples.
+        let data = 0x0f0f_0f0f_0f0f_0f0fu64;
+        let cw = encode(data);
+        let mut miscorrected = 0;
+        let mut total = 0;
+        for a in 0..8u32 {
+            for b in 20..28u32 {
+                for c in 40..48u32 {
+                    let corrupted = Codeword {
+                        data: cw.data ^ (1 << a) ^ (1 << b) ^ (1 << c),
+                        check: cw.check,
+                    };
+                    total += 1;
+                    if let Decoded::Corrected(v) = decode(corrupted) {
+                        if v != data {
+                            miscorrected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            miscorrected > 0,
+            "some of {total} triple flips must silently miscorrect"
+        );
+    }
+}

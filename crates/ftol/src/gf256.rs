@@ -1,0 +1,144 @@
+//! GF(2⁸) arithmetic (AES polynomial 0x11b) for erasure coding.
+
+/// Generator of the multiplicative group used for log tables.
+const GENERATOR: u8 = 3;
+
+/// Exp/log tables for fast multiplication.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x = 1u8;
+        for (i, slot) in exp.iter_mut().take(255).enumerate() {
+            *slot = x;
+            log[x as usize] = i as u8;
+            x = mul_slow(x, GENERATOR);
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Carry-less multiply with reduction by x⁸+x⁴+x³+x+1.
+fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        let high = a & 0x80 != 0;
+        a <<= 1;
+        if high {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Addition in GF(2⁸) (XOR).
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on zero, which has no inverse.
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division `a / b`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `base^power` by table lookup.
+pub fn pow(base: u8, power: u32) -> u8 {
+    if base == 0 {
+        return if power == 0 { 1 } else { 0 };
+    }
+    let t = tables();
+    let l = t.log[base as usize] as u32;
+    t.exp[((l * power) % 255) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_slow_path() {
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 0x53, 0xca, 255] {
+                assert_eq!(mul(a, b), mul_slow(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_aes_product() {
+        // 0x53 · 0xCA = 0x01 in the AES field.
+        assert_eq!(mul(0x53, 0xca), 0x01);
+    }
+
+    #[test]
+    fn inverse_law() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        assert_eq!(div(mul(7, 9), 9), 7);
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(pow(2, 0), 1);
+        assert_eq!(pow(2, 1), 2);
+        assert_eq!(pow(2, 8), mul(pow(2, 4), pow(2, 4)));
+        assert_eq!(pow(0, 5), 0);
+        assert_eq!(pow(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn distributivity_samples() {
+        for (a, b, c) in [(3u8, 7u8, 11u8), (0x80, 0x1b, 0xff)] {
+            assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Non-cryptographic hashes used for data-integrity summaries.
+
+/// FNV-1a over bytes (64-bit).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// An xx-style 64-bit avalanche hash over 8-byte words (tail bytes are
+/// zero-padded into a final word).
+pub fn xx_like64(data: &[u8]) -> u64 {
+    const P1: u64 = 0x9e37_79b1_85eb_ca87;
+    const P2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    let mut acc = P2 ^ data.len() as u64;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        acc = (acc ^ word.wrapping_mul(P1))
+            .rotate_left(31)
+            .wrapping_mul(P2);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        let word = u64::from_le_bytes(tail);
+        acc = (acc ^ word.wrapping_mul(P1))
+            .rotate_left(31)
+            .wrapping_mul(P2);
+    }
+    // Final avalanche.
+    acc ^= acc >> 33;
+    acc = acc.wrapping_mul(P1);
+    acc ^ (acc >> 29)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_value() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn hashes_differ_on_single_flip() {
+        let data = b"metadata service key".to_vec();
+        let f = fnv1a64(&data);
+        let x = xx_like64(&data);
+        let mut corrupted = data.clone();
+        corrupted[3] ^= 0x10;
+        assert_ne!(fnv1a64(&corrupted), f);
+        assert_ne!(xx_like64(&corrupted), x);
+    }
+
+    #[test]
+    fn xx_like_is_length_sensitive() {
+        assert_ne!(xx_like64(b"aa"), xx_like64(b"aa\0"));
+    }
+
+    #[test]
+    fn xx_like_handles_tails() {
+        for len in 0..24 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let _ = xx_like64(&data); // no panic on any tail size
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Fault-tolerance techniques audited against CPU SDCs (§6.2).
+//!
+//! Observation 12: "the effectiveness of existing fault tolerance
+//! techniques is diminished when confronted with CPU SDCs." This crate
+//! implements the techniques the paper discusses — end-to-end checksums
+//! (CRC), hashing, SECDED ECC, erasure coding over GF(256), N-modular
+//! redundancy, and range-prediction detectors — and an [`audit`] harness
+//! that reproduces each failure mode:
+//!
+//! * a checksum computed *after* the corruption certifies the corrupted
+//!   data;
+//! * SECDED corrects single flips but a multi-bit SDC (Observation 8)
+//!   defeats it — and can even be miscorrected into a third value;
+//! * erasure coding recovers *lost* data but propagates *corrupted* data
+//!   into reconstructed blocks;
+//! * redundancy works but costs a full replica;
+//! * range predictors miss the tiny fraction-bit losses of Observation 7.
+//!
+//! [`sdc_code`] additionally *implements* §4.2's proposal: an encoding
+//! that allocates protection by bit significance, beating uniform SECDED
+//! on the measured bitflip distribution at equal overhead.
+
+pub mod audit;
+pub mod crc;
+pub mod ecc;
+pub mod gf256;
+pub mod hashing;
+pub mod prediction;
+pub mod redundancy;
+pub mod rs;
+pub mod sdc_code;
+
+pub use audit::{audit_all, AuditOutcome, Technique};

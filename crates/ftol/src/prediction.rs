@@ -1,0 +1,121 @@
+//! Range-prediction SDC detectors.
+//!
+//! HPC detectors predict the next value of a smooth series and flag
+//! results outside a tolerance band. §6.2: "real SDCs may have minor
+//! precision losses (Observation 7), making it challenging for these
+//! methods to determine a narrow range" — a fraction-bit flip moves the
+//! value by parts per billion and sails through any usable band.
+
+use std::collections::VecDeque;
+
+/// A sliding-window linear-extrapolation range predictor.
+#[derive(Debug, Clone)]
+pub struct RangePredictor {
+    window: VecDeque<f64>,
+    capacity: usize,
+    /// Relative half-width of the acceptance band.
+    pub tolerance: f64,
+}
+
+impl RangePredictor {
+    /// A predictor extrapolating from the last `capacity ≥ 2` samples
+    /// with a relative acceptance band of `tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` or `tolerance` is not positive.
+    pub fn new(capacity: usize, tolerance: f64) -> RangePredictor {
+        assert!(capacity >= 2, "need at least two samples to extrapolate");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        RangePredictor {
+            window: VecDeque::new(),
+            capacity,
+            tolerance,
+        }
+    }
+
+    /// The predicted next value (linear extrapolation of the window),
+    /// or `None` before the window has two samples.
+    pub fn predict(&self) -> Option<f64> {
+        if self.window.len() < 2 {
+            return None;
+        }
+        let n = self.window.len();
+        let last = self.window[n - 1];
+        let prev = self.window[n - 2];
+        Some(last + (last - prev))
+    }
+
+    /// Checks `value` against the prediction band, then absorbs it into
+    /// the window. Returns true when the value is flagged anomalous.
+    pub fn observe(&mut self, value: f64) -> bool {
+        let anomalous = match self.predict() {
+            Some(pred) => {
+                let band = pred.abs().max(1e-12) * self.tolerance;
+                (value - pred).abs() > band
+            }
+            None => false,
+        };
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+        anomalous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_series_passes() {
+        let mut p = RangePredictor::new(4, 0.05);
+        for i in 0..50 {
+            let v = 100.0 + i as f64 * 0.5;
+            assert!(!p.observe(v), "smooth value {v} flagged");
+        }
+    }
+
+    #[test]
+    fn exponent_flip_is_caught() {
+        let mut p = RangePredictor::new(4, 0.05);
+        for i in 0..10 {
+            p.observe(100.0 + i as f64);
+        }
+        // Flip an exponent bit: value roughly doubles.
+        let corrupted = f64::from_bits((110.0f64).to_bits() ^ (1 << 62));
+        assert!(p.observe(corrupted));
+    }
+
+    #[test]
+    fn fraction_flip_slips_through() {
+        // Observation 7 + §6.2: a low-fraction-bit flip is far inside any
+        // workable tolerance band.
+        let mut p = RangePredictor::new(4, 0.01); // even a tight 1% band
+        for i in 0..10 {
+            p.observe(100.0 + i as f64);
+        }
+        let corrupted = f64::from_bits((110.0f64).to_bits() ^ (1 << 20));
+        assert!(
+            !p.observe(corrupted),
+            "ppb-scale loss is indistinguishable from normal drift"
+        );
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut p = RangePredictor::new(2, 0.5);
+        p.observe(1.0);
+        p.observe(2.0);
+        assert_eq!(p.predict(), Some(3.0));
+        p.observe(3.0);
+        assert_eq!(p.predict(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn rejects_tiny_window() {
+        let _ = RangePredictor::new(1, 0.1);
+    }
+}

@@ -1,0 +1,83 @@
+//! N-modular redundancy: execute-and-compare replication.
+//!
+//! §6.2: replication detects (N=2) or corrects (N≥3, by majority) CPU
+//! SDCs, but "considering the low failure rate of CPUs, such kind of
+//! techniques are too costly to be applied to every application".
+
+/// The results of replicated execution.
+#[derive(Debug, Clone)]
+pub struct Replicated<T> {
+    /// One result per replica.
+    pub results: Vec<T>,
+}
+
+/// Runs `f` once per replica (`f` receives the replica index, so a fault
+/// model can corrupt specific replicas).
+pub fn run_replicated<T>(replicas: usize, mut f: impl FnMut(usize) -> T) -> Replicated<T> {
+    Replicated {
+        results: (0..replicas).map(&mut f).collect(),
+    }
+}
+
+impl<T: PartialEq + Clone> Replicated<T> {
+    /// True if any replica disagrees — a *detected* error.
+    pub fn divergent(&self) -> bool {
+        self.results.windows(2).any(|w| w[0] != w[1])
+    }
+
+    /// Majority vote; `None` when no value reaches a strict majority.
+    pub fn majority(&self) -> Option<T> {
+        let n = self.results.len();
+        for candidate in &self.results {
+            let votes = self.results.iter().filter(|r| *r == candidate).count();
+            if votes * 2 > n {
+                return Some(candidate.clone());
+            }
+        }
+        None
+    }
+
+    /// Relative resource overhead versus unreplicated execution
+    /// (N replicas cost N−1 extra executions).
+    pub fn overhead(&self) -> f64 {
+        (self.results.len().max(1) - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_is_silent() {
+        let r = run_replicated(3, |_| 42u64);
+        assert!(!r.divergent());
+        assert_eq!(r.majority(), Some(42));
+    }
+
+    #[test]
+    fn dual_modular_detects_but_cannot_correct() {
+        let r = run_replicated(2, |i| if i == 0 { 41u64 } else { 42 });
+        assert!(r.divergent());
+        assert_eq!(r.majority(), None, "no strict majority with 2 replicas");
+    }
+
+    #[test]
+    fn triple_modular_corrects_single_corruption() {
+        let r = run_replicated(3, |i| if i == 1 { 0u64 } else { 7 });
+        assert!(r.divergent());
+        assert_eq!(r.majority(), Some(7));
+    }
+
+    #[test]
+    fn majority_fails_under_two_corruptions() {
+        let r = run_replicated(3, |i| i as u64); // all distinct
+        assert_eq!(r.majority(), None);
+    }
+
+    #[test]
+    fn overhead_scales_with_replicas() {
+        assert_eq!(run_replicated(1, |_| 0u8).overhead(), 0.0);
+        assert_eq!(run_replicated(3, |_| 0u8).overhead(), 2.0);
+    }
+}

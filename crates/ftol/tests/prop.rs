@@ -1,0 +1,126 @@
+//! Property-based tests for the fault-tolerance codes.
+
+use ftol::{crc, ecc, gf256, hashing, rs};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn crc32_detects_any_single_flip(data in prop::collection::vec(any::<u8>(), 1..64),
+                                     byte_idx in any::<prop::sample::Index>(),
+                                     bit in 0u8..8) {
+        let reference = crc::crc32(&data);
+        let mut corrupted = data.clone();
+        let i = byte_idx.index(corrupted.len());
+        corrupted[i] ^= 1 << bit;
+        prop_assert_ne!(crc::crc32(&corrupted), reference);
+    }
+
+    #[test]
+    fn crc64_detects_any_single_flip(data in prop::collection::vec(any::<u8>(), 1..64),
+                                     byte_idx in any::<prop::sample::Index>(),
+                                     bit in 0u8..8) {
+        let reference = crc::crc64(&data);
+        let mut corrupted = data.clone();
+        let i = byte_idx.index(corrupted.len());
+        corrupted[i] ^= 1 << bit;
+        prop_assert_ne!(crc::crc64(&corrupted), reference);
+    }
+
+    #[test]
+    fn hashes_are_deterministic(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(hashing::fnv1a64(&data), hashing::fnv1a64(&data));
+        prop_assert_eq!(hashing::xx_like64(&data), hashing::xx_like64(&data));
+    }
+
+    #[test]
+    fn gf256_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        // Commutativity and associativity of multiplication.
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+        // Distributivity over XOR addition.
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        // Identities.
+        prop_assert_eq!(gf256::mul(a, 1), a);
+        prop_assert_eq!(gf256::mul(a, 0), 0);
+        if b != 0 {
+            prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+        }
+    }
+
+    #[test]
+    fn ecc_corrects_every_single_flip(data in any::<u64>(), bit in 0u32..72) {
+        let cw = ecc::encode(data);
+        let corrupted = if bit < 64 {
+            ecc::Codeword { data: cw.data ^ (1u64 << bit), check: cw.check }
+        } else {
+            ecc::Codeword { data: cw.data, check: cw.check ^ (1u8 << (bit - 64)) }
+        };
+        prop_assert_eq!(ecc::decode(corrupted), ecc::Decoded::Corrected(data));
+    }
+
+    #[test]
+    fn ecc_flags_every_double_data_flip(data in any::<u64>(), a in 0u32..64, b in 0u32..64) {
+        prop_assume!(a != b);
+        let cw = ecc::encode(data);
+        let corrupted =
+            ecc::Codeword { data: cw.data ^ (1 << a) ^ (1 << b), check: cw.check };
+        prop_assert_eq!(ecc::decode(corrupted), ecc::Decoded::DoubleError);
+    }
+
+    #[test]
+    fn rs_recovers_any_two_erasures(
+        seed in any::<u64>(),
+        len in 1usize..64,
+        a in 0usize..6,
+        b in 0usize..6,
+    ) {
+        prop_assume!(a != b);
+        let codec = rs::ReedSolomon::new(4, 2);
+        let data: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (seed.wrapping_mul(31).wrapping_add((i * 97 + j * 13) as u64)) as u8)
+                    .collect()
+            })
+            .collect();
+        let parity = codec.encode(&data);
+        let original: Vec<Vec<u8>> = data.iter().chain(&parity).cloned().collect();
+        let mut shards: Vec<Option<Vec<u8>>> = original.iter().cloned().map(Some).collect();
+        shards[a] = None;
+        shards[b] = None;
+        codec.reconstruct(&mut shards).expect("within parity budget");
+        for (i, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().expect("restored"), &original[i]);
+        }
+    }
+
+    #[test]
+    fn rs_parity_is_linear(len in 1usize..32, seed in any::<u64>()) {
+        // encode(x ⊕ y) = encode(x) ⊕ encode(y): the code is linear over
+        // GF(2), which is why corrupt inputs yield consistent (wrong)
+        // codewords — the EC blindness of Observation 12.
+        let codec = rs::ReedSolomon::new(3, 2);
+        let mk = |off: u64| -> Vec<Vec<u8>> {
+            (0..3)
+                .map(|i| (0..len).map(|j| (seed ^ off).wrapping_mul(17).wrapping_add((i * 7 + j) as u64) as u8).collect())
+                .collect()
+        };
+        let x = mk(0);
+        let y = mk(0x5a5a);
+        let xy: Vec<Vec<u8>> = x
+            .iter()
+            .zip(&y)
+            .map(|(sx, sy)| sx.iter().zip(sy).map(|(a, b)| a ^ b).collect())
+            .collect();
+        let px = codec.encode(&x);
+        let py = codec.encode(&y);
+        let pxy = codec.encode(&xy);
+        for (i, shard) in pxy.iter().enumerate() {
+            let manual: Vec<u8> = px[i].iter().zip(&py[i]).map(|(a, b)| a ^ b).collect();
+            prop_assert_eq!(shard, &manual);
+        }
+    }
+}

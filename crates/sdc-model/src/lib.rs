@@ -1,0 +1,28 @@
+//! Shared vocabulary for the SDC study.
+//!
+//! This crate defines the domain types every other crate speaks:
+//! processor/core/testcase identifiers, the processor feature taxonomy
+//! (Observation 5), operation datatypes (Observation 6), SDC records with
+//! bit-level diffing (Observations 7–8), a virtual clock, deterministic
+//! hierarchical RNG streams, and the statistics toolbox used by the
+//! analyses (least squares, Pearson correlation, CDFs, histograms).
+//!
+//! Nothing here depends on the simulator; conversely, everything in the
+//! simulator and in the analyses depends on this crate.
+
+pub mod clock;
+pub mod datatype;
+pub mod feature;
+pub mod ids;
+pub mod record;
+pub mod rng;
+pub mod stats;
+pub mod value;
+
+pub use clock::{Duration, VirtualClock};
+pub use datatype::DataType;
+pub use feature::{Feature, SdcType};
+pub use ids::{ArchId, CoreId, CpuId, SettingId, TestcaseId};
+pub use record::{FlipDirection, SdcRecord};
+pub use rng::DetRng;
+pub use value::Value;

@@ -1,0 +1,133 @@
+//! Property-based tests for the shared vocabulary.
+
+use proptest::prelude::*;
+use sdc_model::stats::{linear_fit, pearson, Cdf};
+use sdc_model::{
+    CoreId, CpuId, DataType, DetRng, Duration, SdcRecord, SdcType, SettingId, TestcaseId, Value,
+};
+
+fn any_datatype() -> impl Strategy<Value = DataType> {
+    prop::sample::select(DataType::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn value_bits_stay_in_width(dt in any_datatype(), bits in any::<u128>()) {
+        let v = Value::from_bits(dt, bits);
+        prop_assert_eq!(v.bits & !dt.mask(), 0);
+    }
+
+    #[test]
+    fn precision_loss_is_nonnegative(dt in any_datatype(), e in any::<u128>(), a in any::<u128>()) {
+        let ev = Value::from_bits(dt, e);
+        let av = Value::from_bits(dt, a);
+        if let Some(loss) = Value::rel_precision_loss(ev, av) {
+            prop_assert!(loss >= 0.0 || loss.is_nan());
+        }
+    }
+
+    #[test]
+    fn identical_values_have_zero_loss(dt in any_datatype(), bits in any::<u128>()) {
+        let v = Value::from_bits(dt, bits);
+        if dt.is_numeric() {
+            prop_assert_eq!(Value::rel_precision_loss(v, v), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn record_mask_is_symmetric_and_bounded(
+        dt in any_datatype(),
+        e in any::<u128>(),
+        a in any::<u128>(),
+    ) {
+        let rec = |expected, actual| SdcRecord {
+            setting: SettingId { cpu: CpuId(1), core: CoreId(0), testcase: TestcaseId(0) },
+            kind: SdcType::Computation,
+            datatype: dt,
+            expected,
+            actual,
+            temp_c: 50.0,
+            at: Duration::ZERO,
+        };
+        let r1 = rec(e, a);
+        let r2 = rec(a, e);
+        prop_assert_eq!(r1.mask(), r2.mask());
+        prop_assert_eq!(r1.mask() & !dt.mask(), 0);
+        prop_assert_eq!(r1.flipped_bits(), r1.flips().count() as u32);
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = Duration::from_micros(a);
+        let db = Duration::from_micros(b);
+        prop_assert_eq!((da + db).as_micros(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_micros(), a.saturating_sub(b));
+        prop_assert!((da.as_secs_f64() - a as f64 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_rng_forks_are_reproducible(seed in any::<u64>(), label in any::<u64>()) {
+        use rand::RngCore as _;
+        let a = DetRng::new(seed).fork(label).next_u64();
+        let b = DetRng::new(seed).fork(label).next_u64();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cdf_is_monotone(samples in prop::collection::vec(-1e6f64..1e6, 2..50)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let mut probe: Vec<f64> = samples;
+        probe.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let mut prev = 0.0;
+        for &x in &probe {
+            let f = cdf.fraction_at_most(x);
+            prop_assert!(f >= prev - 1e-12, "CDF must be monotone");
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        prop_assert_eq!(cdf.fraction_at_most(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..40),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+            prop_assert!((pearson(&ys, &xs).expect("symmetric") - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100f64..100.0,
+        intercept in -100f64..100.0,
+        xs in prop::collection::vec(-1e3f64..1e3, 3..20),
+    ) {
+        // Need spread in x for a well-posed fit.
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 1.0);
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys).expect("well-posed");
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-4 * intercept.abs().max(1.0) + 1e-6);
+    }
+
+    #[test]
+    fn poisson_is_zero_for_zero_lambda(seed in any::<u64>()) {
+        let mut rng = DetRng::new(seed);
+        prop_assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights(seed in any::<u64>()) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..50 {
+            let idx = rng.weighted(&[0.0, 1.0, 0.0]);
+            prop_assert_eq!(idx, 1);
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The deep-study set: 27 faulty processors (§2.4).
+//!
+//! The paper runs tens of millions of tests against 27 faulty processors
+//! kept for detailed analysis; Table 3 documents ten of them by name.
+//! This module reconstructs that set: the ten named processors with their
+//! published architecture, age, defect scope and affected features /
+//! datatypes, plus 17 synthesized processors that fill out the published
+//! aggregate structure —
+//!
+//! * 19 computation vs. 8 consistency processors;
+//! * about half single-core vs. all-core defect scope (Observation 4);
+//! * six processors with a clear exponential temperature dependence
+//!   (MIX1, MIX2, FPU2 among the named ones — Figure 8);
+//! * minimum triggering temperatures anticorrelated with occurrence
+//!   frequency at threshold (Figure 9, r ≈ −0.83).
+//!
+//! Trigger rates are per matching retired instruction; with the default
+//! virtual clock (10 MHz) and hot loops retiring tens of matching
+//! instructions per hundred cycles, base rates of 1e-9…1e-4 span the
+//! paper's 0.01…hundreds of errors per minute (Observation 9).
+
+use crate::defect::{gen_patterns, Defect, DefectKind, DefectScope, Trigger};
+use crate::processor::Processor;
+use sdc_model::{ArchId, CpuId, DataType, DetRng};
+use softcore::InstClass;
+
+/// A deep-study entry: a processor plus its study name.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Study name ("MIX1", "FPU2", "COMP11", …).
+    pub name: &'static str,
+    /// The faulty processor.
+    pub processor: Processor,
+}
+
+/// Seed namespace for catalog pattern generation (fixed so the catalog is
+/// identical across runs).
+const CATALOG_SEED: u64 = 0x05dc_ca7a_0106;
+
+fn rng_for(id: u64) -> DetRng {
+    DetRng::new(CATALOG_SEED).fork(id)
+}
+
+/// Builds a computation defect; `selectivity` is the fraction of matching
+/// testcases whose code paths actually reach the defective unit.
+fn comp_defect(
+    id: u64,
+    classes: Vec<InstClass>,
+    datatypes: Vec<DataType>,
+    scope: DefectScope,
+    trigger: Trigger,
+    n_patterns: usize,
+    selectivity: f64,
+) -> Defect {
+    let mut rng = rng_for(id);
+    // Patterns are generated on the defect's primary datatype; firings on
+    // other datatypes draw fresh masks (the mask is truncated to width).
+    let primary = datatypes.first().copied().unwrap_or(DataType::Bin64);
+    let patterns = gen_patterns(primary, n_patterns, &mut rng);
+    Defect::new(
+        DefectKind::Computation {
+            classes,
+            datatypes,
+            patterns,
+            pattern_dt: primary,
+            random_mask_prob: 0.25,
+        },
+        scope,
+        trigger,
+    )
+    .with_selectivity(selectivity, 0x5e1ec7 ^ id)
+}
+
+/// Per-core scales for an all-core defect spanning orders of magnitude
+/// (the paper saw per-core frequency differences "up to several orders of
+/// magnitude under the same test setting").
+fn spread_scales(id: u64, cores: u16) -> Vec<f64> {
+    let mut rng = rng_for(id ^ 0xabcd);
+    (0..cores)
+        .map(|_| 10f64.powf(rng.range_f64(-2.5, 0.0)))
+        .collect()
+}
+
+fn mk(id: u64, name: &'static str, arch: u8, age: f64, defects: Vec<Defect>) -> CaseStudy {
+    let mut p = Processor::healthy(CpuId(id), ArchId(arch), age);
+    p.defects = defects;
+    CaseStudy { name, processor: p }
+}
+
+/// MIX1 (Table 3): M2, all 16 cores, vector + FPU + ALU workloads
+/// (matrix, checksum, string, large-integer), many datatypes; one
+/// apparent defect and one tricky high-temperature defect (testcase C on
+/// MIX1 only fails above 59 ℃, Figure 8a).
+fn mix1() -> CaseStudy {
+    let apparent = comp_defect(
+        101,
+        vec![
+            InstClass::VecFma,
+            InstClass::VecFloatArith,
+            InstClass::VecIntArith,
+            InstClass::Crc,
+            InstClass::IntMulDiv,
+        ],
+        vec![
+            DataType::F32,
+            DataType::F64,
+            DataType::I32,
+            DataType::U32,
+            DataType::Byte,
+            DataType::Bin16,
+            DataType::Bin32,
+        ],
+        DefectScope::AllCores {
+            per_core_scale: spread_scales(101, 16),
+        },
+        Trigger {
+            base_rate: 2.5e-7,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+        3,
+        0.14,
+    );
+    let tricky = comp_defect(
+        102,
+        vec![InstClass::FloatDiv, InstClass::FloatAtan],
+        vec![DataType::F64, DataType::F32],
+        DefectScope::AllCores {
+            per_core_scale: spread_scales(102, 16),
+        },
+        Trigger {
+            base_rate: 1e-8,
+            t_ref_c: 66.0,
+            log10_slope_per_c: 0.085,
+            t_min_c: 59.0,
+        },
+        2,
+        0.30,
+    );
+    mk(1, "MIX1", 2, 1.75, vec![apparent, tricky])
+}
+
+/// MIX2 (Table 3): M2, all 16 cores, ALU-heavy mix (bit ops, hashing,
+/// checksums) plus float; temperature-sensitive component (Figure 8b).
+fn mix2() -> CaseStudy {
+    let apparent = comp_defect(
+        201,
+        vec![
+            InstClass::IntArith,
+            InstClass::IntLogic,
+            InstClass::VecIntArith,
+            InstClass::Crc,
+            InstClass::Hash,
+            InstClass::VecFma,
+        ],
+        vec![
+            DataType::I16,
+            DataType::I32,
+            DataType::U32,
+            DataType::F32,
+            DataType::Bit,
+            DataType::Byte,
+            DataType::Bin16,
+            DataType::Bin32,
+        ],
+        DefectScope::AllCores {
+            per_core_scale: spread_scales(201, 16),
+        },
+        Trigger {
+            base_rate: 1.5e-7,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+        3,
+        0.14,
+    );
+    let tricky = comp_defect(
+        202,
+        vec![InstClass::FloatMul, InstClass::FloatAdd],
+        vec![DataType::F64],
+        DefectScope::AllCores {
+            per_core_scale: spread_scales(202, 16),
+        },
+        Trigger {
+            base_rate: 4e-8,
+            t_ref_c: 56.0,
+            log10_slope_per_c: 0.095,
+            t_min_c: 56.0,
+        },
+        2,
+        0.30,
+    );
+    mk(2, "MIX2", 2, 0.92, vec![apparent, tricky])
+}
+
+/// SIMD1 (Table 3): M2, one core, f32 matrix workloads; the toolchain
+/// pinpointed a vector multiply-add instruction. Highly reproducible.
+fn simd1() -> CaseStudy {
+    let d = comp_defect(
+        301,
+        vec![InstClass::VecFma],
+        vec![DataType::F32],
+        DefectScope::SingleCore(0),
+        Trigger {
+            base_rate: 1e-7,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+        2,
+        0.20,
+    );
+    mk(3, "SIMD1", 2, 2.33, vec![d])
+}
+
+/// SIMD2 (Table 3): M5, one core, f64 matrix workloads, single failing
+/// testcase, low rate.
+fn simd2() -> CaseStudy {
+    let d = comp_defect(
+        401,
+        vec![InstClass::VecFma],
+        vec![DataType::F64],
+        DefectScope::SingleCore(5),
+        Trigger {
+            base_rate: 5e-8,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+        1,
+        0.10,
+    );
+    mk(4, "SIMD2", 5, 0.50, vec![d])
+}
+
+/// FPU1 (Table 3): M5, one core, the arctangent instruction used by an
+/// HPC math library (f64 / f64x).
+fn fpu1() -> CaseStudy {
+    let d = comp_defect(
+        501,
+        vec![InstClass::FloatAtan, InstClass::X87Atan],
+        vec![DataType::F64, DataType::F64X],
+        DefectScope::SingleCore(3),
+        Trigger {
+            base_rate: 2e-6,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+        2,
+        0.40,
+    );
+    mk(5, "FPU1", 5, 0.58, vec![d])
+}
+
+/// FPU2 (Table 3): like FPU1 but temperature-sensitive on pcore 8
+/// (Figure 8c: 48–56 ℃, ~0.4–4 errors/min).
+fn fpu2() -> CaseStudy {
+    let d = comp_defect(
+        601,
+        vec![InstClass::FloatAtan, InstClass::X87Atan],
+        vec![DataType::F64, DataType::F64X],
+        DefectScope::SingleCore(8),
+        Trigger {
+            base_rate: 2.5e-7,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.12,
+            t_min_c: 48.0,
+        },
+        2,
+        0.40,
+    );
+    mk(6, "FPU2", 5, 1.83, vec![d])
+}
+
+/// FPU3 (Table 3): M3, one core, f64 floating-point computing.
+fn fpu3() -> CaseStudy {
+    let d = comp_defect(
+        701,
+        vec![InstClass::FloatDiv, InstClass::FloatMul],
+        vec![DataType::F64],
+        DefectScope::SingleCore(2),
+        Trigger {
+            base_rate: 6e-7,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+        1,
+        0.10,
+    );
+    mk(7, "FPU3", 3, 3.08, vec![d])
+}
+
+/// FPU4 (Table 3): M6, one core, f64 floating-point computing, one
+/// failing testcase.
+fn fpu4() -> CaseStudy {
+    let d = comp_defect(
+        801,
+        vec![InstClass::FloatAdd],
+        vec![DataType::F64],
+        DefectScope::SingleCore(1),
+        Trigger {
+            base_rate: 5e-7,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+        1,
+        0.05,
+    );
+    mk(8, "FPU4", 6, 1.62, vec![d])
+}
+
+/// CNST1 (Table 3): M2, one core, consistency in *both* cache coherence
+/// and transactional memory ("fails to guarantee the consistency in both
+/// cache and transactional memory").
+fn cnst1() -> CaseStudy {
+    let coherence = Defect::new(
+        DefectKind::CoherenceDrop,
+        DefectScope::SingleCore(4),
+        Trigger {
+            base_rate: 2e-6,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+    )
+    .with_selectivity(0.06, 901);
+    let tx = Defect::new(
+        DefectKind::TxIsolation,
+        DefectScope::SingleCore(4),
+        Trigger {
+            base_rate: 8e-6,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+    )
+    .with_selectivity(0.06, 902);
+    mk(9, "CNST1", 2, 0.92, vec![coherence, tx])
+}
+
+/// CNST2 (Table 3): M3, all 24 cores, transactional memory only.
+fn cnst2() -> CaseStudy {
+    let tx = Defect::new(
+        DefectKind::TxIsolation,
+        DefectScope::AllCores {
+            per_core_scale: spread_scales(1001, 24),
+        },
+        Trigger {
+            base_rate: 4e-6,
+            t_ref_c: 50.0,
+            log10_slope_per_c: 0.0,
+            t_min_c: 0.0,
+        },
+    )
+    .with_selectivity(0.15, 1002);
+    mk(10, "CNST2", 3, 1.08, vec![tx])
+}
+
+/// Names for the 17 synthesized processors.
+const SYN_NAMES: [&str; 17] = [
+    "COMP11", "COMP12", "COMP13", "COMP14", "COMP15", "COMP16", "COMP17", "COMP18", "COMP19",
+    "COMP20", "COMP21", "CNST22", "CNST23", "CNST24", "CNST25", "CNST26", "CNST27",
+];
+
+/// Computation class pools the synthesizer draws from, one per feature
+/// emphasis.
+fn class_pool(which: usize) -> Vec<InstClass> {
+    match which % 5 {
+        0 => vec![InstClass::FloatMul, InstClass::FloatAdd],
+        1 => vec![InstClass::FloatDiv, InstClass::FloatAtan],
+        2 => vec![InstClass::VecFma, InstClass::VecFloatArith],
+        3 => vec![
+            InstClass::IntArith,
+            InstClass::IntMulDiv,
+            InstClass::Crc,
+            InstClass::Hash,
+        ],
+        _ => vec![InstClass::VecIntArith, InstClass::Hash, InstClass::IntLogic],
+    }
+}
+
+fn datatype_pool(which: usize) -> Vec<DataType> {
+    match which % 5 {
+        0 => vec![DataType::F64],
+        1 => vec![DataType::F64, DataType::F64X],
+        2 => vec![DataType::F32, DataType::F64],
+        3 => vec![
+            DataType::I32,
+            DataType::U32,
+            DataType::Bin32,
+            DataType::Bin64,
+        ],
+        _ => vec![DataType::I32, DataType::I16, DataType::Bit, DataType::Bin64],
+    }
+}
+
+/// Synthesized computation processors COMP11–COMP21.
+///
+/// Their minimum triggering temperatures sweep 40→75 ℃ while the firing
+/// rate *at threshold* falls with t_min — the Figure 9 anticorrelation.
+/// Three of them (indices 0, 3, 6 → COMP11, COMP14, COMP17) carry a
+/// strong exponential temperature slope, completing the six
+/// temperature-correlated processors of Observation 10.
+fn synthesized_computation(i: usize) -> CaseStudy {
+    let id = 11 + i as u64;
+    let mut rng = rng_for(5000 + id);
+    let archs = [1u8, 1, 3, 5, 6, 6, 7, 8, 8, 9, 9];
+    let arch = archs[i];
+    let cores = crate::arch::info(ArchId(arch)).physical_cores;
+    // Fig. 9 calibration: t_min sweeps upward; log10(rate at t_min) falls
+    // roughly linearly with t_min, plus noise.
+    let t_min = 40.0 + 3.5 * i as f64; // 40 … 75 ℃
+    let log_rate = -6.0 - (t_min - 40.0) * 0.105 + rng.range_f64(-0.2, 0.2);
+    // COMP12/COMP15/COMP18 join MIX1, MIX2 and FPU2 as the six processors
+    // with a strong exponential temperature dependence (Observation 10).
+    let slope = if i % 3 == 1 && i < 10 {
+        rng.range_f64(0.08, 0.13)
+    } else {
+        rng.range_f64(0.0, 0.02)
+    };
+    let single_core = i.is_multiple_of(2);
+    let scope = if single_core {
+        DefectScope::SingleCore((rng.below(cores as u64)) as u16)
+    } else {
+        DefectScope::AllCores {
+            per_core_scale: spread_scales(9000 + id, cores),
+        }
+    };
+    let trigger = Trigger {
+        base_rate: 10f64.powf(log_rate),
+        t_ref_c: t_min.max(45.0),
+        log10_slope_per_c: slope,
+        t_min_c: if t_min <= 45.0 { 0.0 } else { t_min },
+    };
+    let d = comp_defect(
+        6000 + id,
+        class_pool(i),
+        datatype_pool(i),
+        scope,
+        trigger,
+        1 + i % 3,
+        0.12 + 0.05 * (i % 4) as f64,
+    );
+    mk(id, SYN_NAMES[i], arch, 0.5 + 0.3 * i as f64, vec![d])
+}
+
+/// Synthesized consistency processors CNST22–CNST27.
+fn synthesized_consistency(i: usize) -> CaseStudy {
+    let id = 22 + i as u64;
+    let mut rng = rng_for(7000 + id);
+    let archs = [2u8, 4, 5, 7, 8, 9];
+    let arch = archs[i];
+    let cores = crate::arch::info(ArchId(arch)).physical_cores;
+    let kind = if i.is_multiple_of(2) {
+        DefectKind::CoherenceDrop
+    } else {
+        DefectKind::TxIsolation
+    };
+    let scope = if i < 3 {
+        DefectScope::SingleCore((rng.below(cores as u64)) as u16)
+    } else {
+        DefectScope::AllCores {
+            per_core_scale: spread_scales(9500 + id, cores),
+        }
+    };
+    let t_min = 40.0 + 5.0 * i as f64;
+    let log_rate = -5.2 - (t_min - 40.0) * 0.10 + rng.range_f64(-0.25, 0.25);
+    let trigger = Trigger {
+        base_rate: 10f64.powf(log_rate),
+        t_ref_c: t_min.max(45.0),
+        log10_slope_per_c: if i == 1 { 0.03 } else { 0.0 },
+        t_min_c: if t_min <= 45.0 { 0.0 } else { t_min },
+    };
+    mk(
+        id,
+        SYN_NAMES[11 + i],
+        arch,
+        0.8 + 0.4 * i as f64,
+        vec![Defect::new(kind, scope, trigger).with_selectivity(0.10, 7000 + id)],
+    )
+}
+
+/// The full 27-processor deep-study set.
+pub fn deep_study_set() -> Vec<CaseStudy> {
+    let mut v = vec![
+        mix1(),
+        mix2(),
+        simd1(),
+        simd2(),
+        fpu1(),
+        fpu2(),
+        fpu3(),
+        fpu4(),
+        cnst1(),
+        cnst2(),
+    ];
+    for i in 0..11 {
+        v.push(synthesized_computation(i));
+    }
+    for i in 0..6 {
+        v.push(synthesized_consistency(i));
+    }
+    v
+}
+
+/// Looks up a case study by name ("MIX1", "FPU2", …).
+///
+/// # Examples
+///
+/// ```
+/// let simd1 = silicon::catalog::by_name("SIMD1").unwrap();
+/// assert_eq!(simd1.processor.defective_cores().len(), 1);
+/// assert!(silicon::catalog::by_name("NOPE").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<CaseStudy> {
+    deep_study_set().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_model::SdcType;
+
+    #[test]
+    fn set_has_27_processors() {
+        let set = deep_study_set();
+        assert_eq!(set.len(), 27);
+        // Ids are unique and stable.
+        let mut ids: Vec<u64> = set.iter().map(|c| c.processor.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 27);
+    }
+
+    #[test]
+    fn nineteen_computation_eight_consistency() {
+        let set = deep_study_set();
+        let comp = set
+            .iter()
+            .filter(|c| c.processor.sdc_type() == Some(SdcType::Computation))
+            .count();
+        let cons = set
+            .iter()
+            .filter(|c| c.processor.sdc_type() == Some(SdcType::Consistency))
+            .count();
+        assert_eq!(comp, 19, "19 computation processors (§4.1)");
+        assert_eq!(cons, 8, "8 consistency processors (§4.1)");
+    }
+
+    #[test]
+    fn multiple_defects_share_one_type() {
+        // Observation: "if one processor has multiple defective features,
+        // they always belong to one type."
+        for c in deep_study_set() {
+            let types: std::collections::HashSet<bool> = c
+                .processor
+                .defects
+                .iter()
+                .map(|d| d.kind.is_computation())
+                .collect();
+            assert_eq!(types.len(), 1, "{} mixes SDC types", c.name);
+        }
+    }
+
+    #[test]
+    fn roughly_half_single_core() {
+        let set = deep_study_set();
+        let single = set
+            .iter()
+            .filter(|c| {
+                c.processor
+                    .defects
+                    .iter()
+                    .all(|d| matches!(d.scope, DefectScope::SingleCore(_)))
+            })
+            .count();
+        assert!(
+            (11..=16).contains(&single),
+            "single-core scope count {single}"
+        );
+    }
+
+    #[test]
+    fn six_processors_are_temperature_sensitive() {
+        let set = deep_study_set();
+        let sensitive = set
+            .iter()
+            .filter(|c| {
+                c.processor
+                    .defects
+                    .iter()
+                    .any(|d| d.trigger.log10_slope_per_c >= 0.05)
+            })
+            .count();
+        assert_eq!(sensitive, 6, "six of 27 show exponential dependence (§5)");
+    }
+
+    #[test]
+    fn named_entries_match_table3() {
+        let m1 = by_name("MIX1").unwrap();
+        assert_eq!(m1.processor.arch, ArchId(2));
+        assert_eq!(m1.processor.defective_cores().len(), 16, "all 16 pcores");
+        let s1 = by_name("SIMD1").unwrap();
+        assert_eq!(s1.processor.defective_cores().len(), 1);
+        assert_eq!(s1.processor.age_years, 2.33);
+        let f2 = by_name("FPU2").unwrap();
+        assert_eq!(f2.processor.defective_cores(), vec![sdc_model::CoreId(8)]);
+        let c2 = by_name("CNST2").unwrap();
+        assert_eq!(c2.processor.defective_cores().len(), 24);
+        assert_eq!(c2.processor.sdc_type(), Some(SdcType::Consistency));
+        assert!(by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = deep_study_set();
+        let b = deep_study_set();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.processor, y.processor);
+        }
+    }
+
+    #[test]
+    fn fig9_anticorrelation_is_built_in() {
+        // Across defects with a t_min gate, log10(rate at t_min) falls
+        // with t_min. This is a coarse proxy: the real Figure 9 analysis
+        // correlates *occurrence frequencies*, where consistency defects'
+        // higher per-event rates are normalized by their much lower event
+        // throughput; here they sit above the computation trend line and
+        // dilute the correlation, so the bound is looser than the paper's
+        // r = −0.83.
+        let set = deep_study_set();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for c in &set {
+            for d in &c.processor.defects {
+                if d.trigger.t_min_c > 0.0 {
+                    xs.push(d.trigger.t_min_c);
+                    ys.push(d.trigger.rate_at(d.trigger.t_min_c).log10());
+                }
+            }
+        }
+        assert!(xs.len() >= 10);
+        let r = sdc_model::stats::pearson(&xs, &ys).unwrap();
+        assert!(r < -0.45, "anticorrelation r = {r}");
+    }
+}

@@ -1,0 +1,367 @@
+//! The fault injector: turns a processor's defects into a
+//! [`softcore::FaultHook`].
+//!
+//! The injector is configured with the mapping from machine-local core
+//! indices to the processor's physical cores (the test framework decides
+//! which physical cores a testcase runs on) and with a live temperature
+//! per machine core (updated by the executor between execution chunks, so
+//! the trigger model sees the thermal state).
+
+use crate::defect::{Defect, DefectKind};
+use crate::processor::Processor;
+use sdc_model::DetRng;
+use softcore::{FaultHook, RetireInfo};
+
+/// Fault hook for one processor under test.
+#[derive(Debug, Clone)]
+pub struct Injector {
+    defects: Vec<Defect>,
+    /// machine core index → physical core id.
+    core_map: Vec<u16>,
+    /// Current temperature per machine core, ℃.
+    temps: Vec<f64>,
+    rng: DetRng,
+}
+
+impl Injector {
+    /// Builds an injector for `processor`, with machine core `i` pinned to
+    /// physical core `core_map[i]`, starting at `idle_temp_c`.
+    pub fn new(processor: &Processor, core_map: Vec<u16>, idle_temp_c: f64, rng: DetRng) -> Self {
+        let n = core_map.len();
+        Injector {
+            defects: processor.defects.clone(),
+            core_map,
+            temps: vec![idle_temp_c; n],
+            rng,
+        }
+    }
+
+    /// An injector with no defects (golden behaviour) for `n` cores.
+    pub fn healthy(n: usize, rng: DetRng) -> Self {
+        Injector {
+            defects: Vec::new(),
+            core_map: (0..n as u16).collect(),
+            temps: vec![45.0; n],
+            rng,
+        }
+    }
+
+    /// Updates the temperature of machine core `core`.
+    pub fn set_temp(&mut self, core: usize, temp_c: f64) {
+        self.temps[core] = temp_c;
+    }
+
+    /// Updates all machine-core temperatures at once.
+    pub fn set_temps(&mut self, temps: &[f64]) {
+        assert_eq!(
+            temps.len(),
+            self.temps.len(),
+            "temperature vector size mismatch"
+        );
+        self.temps.copy_from_slice(temps);
+    }
+
+    /// Current temperature of machine core `core`.
+    pub fn temp(&self, core: usize) -> f64 {
+        self.temps[core]
+    }
+
+    fn physical(&self, machine_core: usize) -> u16 {
+        self.core_map[machine_core]
+    }
+}
+
+impl FaultHook for Injector {
+    fn corrupt(&mut self, info: &RetireInfo) -> Option<u128> {
+        if self.defects.is_empty() {
+            return None;
+        }
+        let pcore = self.physical(info.core);
+        let temp = self.temps[info.core];
+        for i in 0..self.defects.len() {
+            if !self.defects[i].matches(info.class, info.dt) {
+                continue;
+            }
+            let rate = self.defects[i].rate(pcore, temp);
+            if rate > 0.0 && self.rng.chance(rate) {
+                let mask = self.defects[i].choose_mask(info.dt, &mut self.rng);
+                if mask != 0 {
+                    return Some(info.bits ^ mask);
+                }
+            }
+        }
+        None
+    }
+
+    fn drop_invalidation(&mut self, observer_core: usize, _line_addr: u64) -> bool {
+        if self.defects.is_empty() {
+            return false;
+        }
+        let pcore = self.physical(observer_core);
+        let temp = self.temps[observer_core];
+        for d in &self.defects {
+            if matches!(d.kind, DefectKind::CoherenceDrop) {
+                let rate = d.rate(pcore, temp);
+                if rate > 0.0 && self.rng.chance(rate) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn tx_commit_despite_conflict(&mut self, core: usize) -> bool {
+        if self.defects.is_empty() {
+            return false;
+        }
+        let pcore = self.physical(core);
+        let temp = self.temps[core];
+        for d in &self.defects {
+            if matches!(d.kind, DefectKind::TxIsolation) {
+                let rate = d.rate(pcore, temp);
+                if rate > 0.0 && self.rng.chance(rate) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::{BitPattern, DefectScope, Trigger};
+    use sdc_model::{ArchId, CpuId, DataType};
+    use softcore::InstClass;
+
+    fn test_processor(defect: Defect) -> Processor {
+        let mut p = Processor::healthy(CpuId(1), ArchId(2), 1.0);
+        p.defects.push(defect);
+        p
+    }
+
+    fn retire(core: usize, class: InstClass, dt: DataType, bits: u128) -> RetireInfo {
+        RetireInfo {
+            core,
+            class,
+            dt,
+            bits,
+        }
+    }
+
+    #[test]
+    fn always_firing_defect_corrupts_with_pattern() {
+        let d = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::VecFma],
+                datatypes: vec![DataType::F32],
+                patterns: vec![BitPattern {
+                    mask: 0b1000,
+                    weight: 1.0,
+                }],
+                pattern_dt: DataType::F32,
+                random_mask_prob: 0.0,
+            },
+            DefectScope::SingleCore(0),
+            Trigger::flat(0.5),
+        );
+        let p = test_processor(d);
+        let mut inj = Injector::new(&p, vec![0], 45.0, DetRng::new(1));
+        let mut corrupted = 0;
+        for _ in 0..200 {
+            if let Some(bits) = inj.corrupt(&retire(0, InstClass::VecFma, DataType::F32, 0xff)) {
+                assert_eq!(bits, 0xff ^ 0b1000);
+                corrupted += 1;
+            }
+        }
+        // rate clamp is 0.5 → about half fire.
+        assert!((50..150).contains(&corrupted), "{corrupted}");
+    }
+
+    #[test]
+    fn wrong_core_never_fires() {
+        let d = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::IntArith],
+                datatypes: vec![],
+                patterns: vec![],
+                pattern_dt: DataType::Bin64,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(5),
+            Trigger::flat(0.5),
+        );
+        let p = test_processor(d);
+        // Machine core 0 pinned to physical core 0 ≠ 5.
+        let mut inj = Injector::new(&p, vec![0], 45.0, DetRng::new(2));
+        for _ in 0..500 {
+            assert!(inj
+                .corrupt(&retire(0, InstClass::IntArith, DataType::I32, 1))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn core_map_routes_to_physical_core() {
+        let d = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::IntArith],
+                datatypes: vec![],
+                patterns: vec![],
+                pattern_dt: DataType::Bin64,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(5),
+            Trigger::flat(0.5),
+        );
+        let p = test_processor(d);
+        // Machine core 0 pinned to the defective physical core 5.
+        let mut inj = Injector::new(&p, vec![5], 45.0, DetRng::new(3));
+        let fired = (0..500)
+            .filter(|_| {
+                inj.corrupt(&retire(0, InstClass::IntArith, DataType::I32, 1))
+                    .is_some()
+            })
+            .count();
+        assert!(fired > 100, "{fired}");
+    }
+
+    #[test]
+    fn temperature_gate_blocks_below_t_min() {
+        let d = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::FloatMul],
+                datatypes: vec![],
+                patterns: vec![],
+                pattern_dt: DataType::Bin64,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(0),
+            Trigger {
+                base_rate: 0.5,
+                t_ref_c: 60.0,
+                log10_slope_per_c: 0.0,
+                t_min_c: 59.0,
+            },
+        );
+        let p = test_processor(d);
+        let mut inj = Injector::new(&p, vec![0], 45.0, DetRng::new(4));
+        for _ in 0..200 {
+            assert!(inj
+                .corrupt(&retire(0, InstClass::FloatMul, DataType::F64, 7))
+                .is_none());
+        }
+        inj.set_temp(0, 62.0);
+        let fired = (0..200)
+            .filter(|_| {
+                inj.corrupt(&retire(0, InstClass::FloatMul, DataType::F64, 7))
+                    .is_some()
+            })
+            .count();
+        assert!(fired > 40, "{fired}");
+    }
+
+    #[test]
+    fn coherence_defect_drops_invalidations() {
+        let d = Defect::new(
+            DefectKind::CoherenceDrop,
+            DefectScope::SingleCore(1),
+            Trigger::flat(0.5),
+        );
+        let p = test_processor(d);
+        let mut inj = Injector::new(&p, vec![0, 1], 45.0, DetRng::new(5));
+        let drops = (0..400).filter(|_| inj.drop_invalidation(1, 0)).count();
+        assert!(drops > 100, "{drops}");
+        assert_eq!((0..400).filter(|_| inj.drop_invalidation(0, 0)).count(), 0);
+    }
+
+    #[test]
+    fn tx_defect_forces_commits() {
+        let d = Defect::new(
+            DefectKind::TxIsolation,
+            DefectScope::AllCores {
+                per_core_scale: vec![1.0; 24],
+            },
+            Trigger::flat(0.3),
+        );
+        let p = test_processor(d);
+        let mut inj = Injector::new(&p, vec![0, 1, 2], 45.0, DetRng::new(6));
+        let forced = (0..600)
+            .filter(|_| inj.tx_commit_despite_conflict(2))
+            .count();
+        assert!(forced > 100, "{forced}");
+    }
+
+    #[test]
+    fn logical_cores_of_one_physical_core_fail_alike() {
+        // Observation 4: "multiple hardware threads, also known as logical
+        // cores, can share a single physical core. In most cases, all the
+        // logical cores sharing the same defective physical core are
+        // affected and they fail the same testcases with a similar
+        // frequency." Two machine cores pinned to the same physical core
+        // (SMT siblings) draw from the same defect rate.
+        let d = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::FloatMul],
+                datatypes: vec![],
+                patterns: vec![],
+                pattern_dt: DataType::Bin64,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(5),
+            Trigger::flat(0.2),
+        );
+        let p = test_processor(d);
+        // Machine cores 0 and 1 are SMT siblings on physical core 5.
+        let mut inj = Injector::new(&p, vec![5, 5], 45.0, DetRng::new(99));
+        let mut fired = [0u32; 2];
+        for i in 0..4000u128 {
+            for (core, count) in fired.iter_mut().enumerate() {
+                if inj
+                    .corrupt(&retire(core, InstClass::FloatMul, DataType::F64, i))
+                    .is_some()
+                {
+                    *count += 1;
+                }
+            }
+        }
+        let ratio = fired[0] as f64 / fired[1].max(1) as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "similar frequency on both siblings: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_injector_is_inert() {
+        let mut inj = Injector::healthy(4, DetRng::new(7));
+        assert!(inj
+            .corrupt(&retire(0, InstClass::VecFma, DataType::F32, 1))
+            .is_none());
+        assert!(!inj.drop_invalidation(0, 0));
+        assert!(!inj.tx_commit_despite_conflict(0));
+    }
+
+    #[test]
+    fn corruption_always_differs_from_expected() {
+        let d = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::Crc],
+                datatypes: vec![DataType::Bin32],
+                patterns: vec![],
+                pattern_dt: DataType::Bin64,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(0),
+            Trigger::flat(0.5),
+        );
+        let p = test_processor(d);
+        let mut inj = Injector::new(&p, vec![0], 45.0, DetRng::new(8));
+        for i in 0..300u128 {
+            if let Some(bits) = inj.corrupt(&retire(0, InstClass::Crc, DataType::Bin32, i)) {
+                assert_ne!(bits, i, "a firing must change the value");
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated defective silicon.
+//!
+//! The study's central object — a production CPU population containing a
+//! small number of processors with manufacturing defects — is unavailable
+//! to a reproduction, so this crate models it (see DESIGN.md for the
+//! substitution argument). It provides:
+//!
+//! * [`arch`]: the nine micro-architecture generations of Table 2, with
+//!   per-architecture defect prevalence calibrated to the paper's
+//!   failure rates;
+//! * [`defect`]: the defect model — scope (single core vs. all cores,
+//!   Observation 4), kind (computation vs. consistency, Observation 5),
+//!   bitflip patterns with float-fraction location preference
+//!   (Observations 7–8), and the exponential temperature trigger with a
+//!   minimum triggering temperature (Observation 10);
+//! * [`injector`]: a [`softcore::FaultHook`] that turns a processor's
+//!   defect list into retire-time corruptions, dropped cache
+//!   invalidations, and forced transactional commits;
+//! * [`processor`]: processor metadata (identity, age, core count);
+//! * [`catalog`]: the 27 deep-study faulty processors, including the ten
+//!   of Table 3 (MIX1/2, SIMD1/2, FPU1–4, CNST1/2);
+//! * [`population`]: samplers for fleet-scale defect injection.
+
+pub mod arch;
+pub mod catalog;
+pub mod defect;
+pub mod injector;
+pub mod population;
+pub mod processor;
+
+pub use defect::{BitPattern, Defect, DefectKind, DefectScope, Trigger};
+pub use injector::Injector;
+pub use processor::Processor;

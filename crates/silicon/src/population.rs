@@ -1,0 +1,248 @@
+//! Fleet-scale defect sampling.
+//!
+//! The fleet simulator does not materialize a million healthy processors;
+//! it samples how many packages of each architecture are defective (from
+//! [`crate::arch::ArchInfo::prevalence`]) and draws a concrete defect for
+//! each. The distributions here encode the aggregate structure the paper
+//! reports: the computation/consistency split, the single-core/all-core
+//! scope split, the feature vulnerability ranking of Figure 2, and the
+//! apparent/tricky trigger mix of Observation 10.
+
+use crate::arch;
+use crate::defect::{gen_patterns, Defect, DefectKind, DefectScope, Trigger};
+use crate::processor::Processor;
+use sdc_model::{ArchId, CpuId, DataType, DetRng};
+use softcore::InstClass;
+
+/// Samples whether one package is defective.
+pub fn is_defective(arch_id: ArchId, rng: &mut DetRng) -> bool {
+    rng.chance(arch::info(arch_id).prevalence)
+}
+
+/// Draws a defective processor of the given architecture.
+pub fn sample_faulty_processor(id: CpuId, arch_id: ArchId, rng: &mut DetRng) -> Processor {
+    let info = arch::info(arch_id);
+    let mut p = Processor::healthy(id, arch_id, rng.range_f64(0.1, 4.0));
+    let n_defects = if rng.chance(0.2) { 2 } else { 1 };
+    let computation = rng.chance(0.7);
+    for _ in 0..n_defects {
+        p.defects
+            .push(sample_defect(computation, info.physical_cores, rng));
+    }
+    p
+}
+
+/// Draws one defect. `computation` fixes the SDC type so that multi-defect
+/// processors stay single-type (the paper's invariant).
+pub fn sample_defect(computation: bool, cores: u16, rng: &mut DetRng) -> Defect {
+    let scope = if rng.chance(0.5) {
+        DefectScope::SingleCore(rng.below(cores as u64) as u16)
+    } else {
+        DefectScope::AllCores {
+            per_core_scale: (0..cores)
+                .map(|_| 10f64.powf(rng.range_f64(-2.5, 0.0)))
+                .collect(),
+        }
+    };
+    let trigger = sample_trigger(rng);
+    if computation {
+        let (classes, datatypes) = sample_feature_mix(rng);
+        let primary = datatypes[0];
+        let patterns = gen_patterns(primary, 1 + rng.below(3) as usize, rng);
+        let seed = rng.below(u64::MAX - 1);
+        Defect::new(
+            DefectKind::Computation {
+                classes,
+                datatypes,
+                patterns,
+                pattern_dt: primary,
+                random_mask_prob: 0.25,
+            },
+            scope,
+            trigger,
+        )
+        .with_selectivity(rng.range_f64(0.05, 0.35), seed)
+    } else {
+        let kind = if rng.chance(0.55) {
+            DefectKind::CoherenceDrop
+        } else {
+            DefectKind::TxIsolation
+        };
+        // Consistency events (invalidations, commits) are one to two
+        // orders of magnitude rarer than retired instructions, so their
+        // per-event rates sit correspondingly higher.
+        let trigger = Trigger {
+            base_rate: trigger.base_rate * 30.0,
+            ..trigger
+        };
+        let seed = rng.below(u64::MAX - 1);
+        Defect::new(kind, scope, trigger).with_selectivity(rng.range_f64(0.05, 0.35), seed)
+    }
+}
+
+/// Apparent (≈60%) vs. tricky (≈40%) trigger mix; tricky defects gate on
+/// a minimum temperature with rate falling as the threshold rises
+/// (Figure 9).
+fn sample_trigger(rng: &mut DetRng) -> Trigger {
+    if rng.chance(0.6) {
+        Trigger {
+            base_rate: 10f64.powf(rng.range_f64(-8.0, -4.5)),
+            t_ref_c: 50.0,
+            log10_slope_per_c: if rng.chance(0.2) {
+                rng.range_f64(0.03, 0.12)
+            } else {
+                0.0
+            },
+            t_min_c: 0.0,
+        }
+    } else {
+        let t_min = rng.range_f64(50.0, 75.0);
+        Trigger {
+            base_rate: 10f64.powf(-4.0 - (t_min - 40.0) * 0.135 + rng.range_f64(-0.5, 0.5)),
+            t_ref_c: t_min,
+            log10_slope_per_c: rng.range_f64(0.02, 0.12),
+            t_min_c: t_min,
+        }
+    }
+}
+
+/// Feature-weighted class/datatype selection (Figure 2's vulnerability
+/// ranking among computation features: FPU > ALU > VecUnit).
+fn sample_feature_mix(rng: &mut DetRng) -> (Vec<InstClass>, Vec<DataType>) {
+    match rng.weighted(&[0.42, 0.33, 0.25]) {
+        0 => {
+            // FPU.
+            let classes = match rng.below(3) {
+                0 => vec![InstClass::FloatAdd, InstClass::FloatMul],
+                1 => vec![InstClass::FloatDiv, InstClass::FloatAtan],
+                _ => vec![InstClass::FloatAtan, InstClass::X87Atan],
+            };
+            let datatypes = if rng.chance(0.3) {
+                vec![DataType::F64, DataType::F64X]
+            } else if rng.chance(0.5) {
+                vec![DataType::F64]
+            } else {
+                vec![DataType::F32, DataType::F64]
+            };
+            (classes, datatypes)
+        }
+        1 => {
+            // ALU.
+            let classes = match rng.below(3) {
+                0 => vec![InstClass::IntArith, InstClass::IntMulDiv],
+                1 => vec![InstClass::IntLogic, InstClass::IntShift, InstClass::Crc],
+                _ => vec![InstClass::Crc, InstClass::Hash],
+            };
+            let datatypes = match rng.below(3) {
+                0 => vec![DataType::I32, DataType::U32],
+                1 => vec![DataType::I16, DataType::Byte, DataType::Bit],
+                _ => vec![DataType::Bin16, DataType::Bin32, DataType::Bin64],
+            };
+            (classes, datatypes)
+        }
+        _ => {
+            // Vector unit.
+            let classes = match rng.below(3) {
+                0 => vec![InstClass::VecFma],
+                1 => vec![InstClass::VecFloatArith, InstClass::VecFma],
+                _ => vec![InstClass::VecIntArith, InstClass::VecLogic],
+            };
+            let datatypes = match rng.below(3) {
+                0 => vec![DataType::F32],
+                1 => vec![DataType::F64, DataType::F32],
+                _ => vec![DataType::I32],
+            };
+            (classes, datatypes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_model::SdcType;
+
+    #[test]
+    fn prevalence_matches_arch_table() {
+        let mut rng = DetRng::new(11);
+        let n = 2_000_000u64;
+        let mut hits = 0u64;
+        for _ in 0..n {
+            if is_defective(ArchId(8), &mut rng) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        let want = arch::info(ArchId(8)).prevalence;
+        assert!((rate - want).abs() < want * 0.2, "rate {rate} vs {want}");
+    }
+
+    #[test]
+    fn sampled_processors_are_single_type() {
+        let mut rng = DetRng::new(12);
+        for i in 0..200 {
+            let p = sample_faulty_processor(CpuId(i), ArchId(1 + (i % 9) as u8), &mut rng);
+            assert!(p.is_faulty());
+            let types: std::collections::HashSet<bool> =
+                p.defects.iter().map(|d| d.kind.is_computation()).collect();
+            assert_eq!(types.len(), 1);
+        }
+    }
+
+    #[test]
+    fn type_split_is_roughly_70_30() {
+        let mut rng = DetRng::new(13);
+        let mut comp = 0;
+        let n = 1000;
+        for i in 0..n {
+            let p = sample_faulty_processor(CpuId(i), ArchId(2), &mut rng);
+            if p.sdc_type() == Some(SdcType::Computation) {
+                comp += 1;
+            }
+        }
+        let share = comp as f64 / n as f64;
+        assert!((share - 0.7).abs() < 0.06, "computation share {share}");
+    }
+
+    #[test]
+    fn scope_split_is_roughly_half() {
+        let mut rng = DetRng::new(14);
+        let mut single = 0;
+        let n = 1000;
+        for i in 0..n {
+            let p = sample_faulty_processor(CpuId(i), ArchId(3), &mut rng);
+            if p.defects
+                .iter()
+                .all(|d| matches!(d.scope, DefectScope::SingleCore(_)))
+            {
+                single += 1;
+            }
+        }
+        let share = single as f64 / n as f64;
+        assert!((share - 0.5).abs() < 0.12, "single-core share {share}");
+    }
+
+    #[test]
+    fn tricky_triggers_have_t_min_and_slope() {
+        let mut rng = DetRng::new(15);
+        let mut tricky = 0;
+        let n = 500;
+        for _ in 0..n {
+            let t = sample_trigger(&mut rng);
+            if t.t_min_c > 0.0 {
+                tricky += 1;
+                assert!(t.log10_slope_per_c > 0.0);
+                assert!(t.rate_at(t.t_min_c - 1.0) == 0.0);
+            }
+        }
+        let share = tricky as f64 / n as f64;
+        assert!((share - 0.4).abs() < 0.1, "tricky share {share}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample_faulty_processor(CpuId(9), ArchId(4), &mut DetRng::new(99));
+        let b = sample_faulty_processor(CpuId(9), ArchId(4), &mut DetRng::new(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,74 @@
+//! Fault-injection hooks.
+//!
+//! The machine is defect-agnostic: at the points where real silicon
+//! defects act, it consults a [`FaultHook`]. The `silicon` crate implements
+//! the hook from a processor's defect catalog; the golden (reference) run
+//! uses [`NoFaults`].
+
+use crate::inst::InstClass;
+use sdc_model::DataType;
+
+/// Context for a retiring value-producing instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct RetireInfo {
+    /// Index of the executing core (machine-local physical core).
+    pub core: usize,
+    /// Class of the retiring instruction.
+    pub class: InstClass,
+    /// Datatype of the result (per lane, for vector instructions).
+    pub dt: DataType,
+    /// Correct result bits, in the low `dt.bits()` bits.
+    pub bits: u128,
+}
+
+/// Injection points where a silicon defect can act.
+///
+/// All methods have healthy defaults, so a hook only overrides the
+/// behaviours its defect model covers.
+pub trait FaultHook {
+    /// Called when a value-producing instruction retires. Returning
+    /// `Some(bits)` replaces the architectural result — a computation SDC.
+    fn corrupt(&mut self, _info: &RetireInfo) -> Option<u128> {
+        None
+    }
+
+    /// Called once per cache holding a copy when an exclusive-ownership
+    /// request invalidates `observer_core`'s copy of `line_addr`.
+    /// Returning true *drops* the invalidation, leaving a stale line —
+    /// a cache-coherence defect.
+    fn drop_invalidation(&mut self, _observer_core: usize, _line_addr: u64) -> bool {
+        false
+    }
+
+    /// Called when a transaction with a read-set conflict is about to
+    /// abort. Returning true forces the commit anyway — a transactional-
+    /// memory isolation defect.
+    fn tx_commit_despite_conflict(&mut self, _core: usize) -> bool {
+        false
+    }
+}
+
+/// The healthy hook: no defects. Used for golden reference runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let mut h = NoFaults;
+        let info = RetireInfo {
+            core: 0,
+            class: InstClass::IntArith,
+            dt: DataType::I32,
+            bits: 7,
+        };
+        assert_eq!(h.corrupt(&info), None);
+        assert!(!h.drop_invalidation(1, 0));
+        assert!(!h.tx_commit_despite_conflict(0));
+    }
+}

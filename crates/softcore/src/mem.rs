@@ -1,0 +1,488 @@
+//! The shared-memory system: per-core L1 caches with snooping MESI.
+//!
+//! Cache coherency is one of the paper's five vulnerable features, and the
+//! CNST1 case study ("a client thread packed data and its checksum into a
+//! buffer … due to defective cache coherence, the daemon thread sometimes
+//! got inconsistent data") motivates modelling coherence at the protocol
+//! level: a fault hook may *drop* an invalidation message, leaving the
+//! victim core with a stale shared line that it keeps reading.
+
+use crate::hooks::FaultHook;
+
+/// Bytes per cache line.
+pub const LINE_BYTES: u64 = 64;
+/// 64-bit words per cache line.
+pub const LINE_WORDS: usize = 8;
+/// Direct-mapped sets per L1 cache (16 KiB per core).
+pub const L1_SETS: usize = 256;
+
+/// MESI line states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    Modified,
+    Exclusive,
+    Shared,
+}
+
+/// One resident cache line.
+#[derive(Debug, Clone)]
+struct CacheLine {
+    /// Line-aligned byte address.
+    tag: u64,
+    state: LineState,
+    data: [u64; LINE_WORDS],
+}
+
+/// A direct-mapped L1 cache.
+#[derive(Debug, Clone)]
+struct L1 {
+    lines: Vec<Option<CacheLine>>,
+}
+
+impl L1 {
+    fn new() -> Self {
+        L1 {
+            lines: vec![None; L1_SETS],
+        }
+    }
+
+    fn set_of(tag: u64) -> usize {
+        ((tag / LINE_BYTES) as usize) % L1_SETS
+    }
+
+    fn lookup(&self, tag: u64) -> Option<&CacheLine> {
+        self.lines[Self::set_of(tag)]
+            .as_ref()
+            .filter(|l| l.tag == tag)
+    }
+
+    fn lookup_mut(&mut self, tag: u64) -> Option<&mut CacheLine> {
+        self.lines[Self::set_of(tag)]
+            .as_mut()
+            .filter(|l| l.tag == tag)
+    }
+}
+
+/// Counters describing memory-system behaviour during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (line fetches).
+    pub misses: u64,
+    /// Invalidations delivered to other cores.
+    pub invalidations: u64,
+    /// Invalidations *dropped* by the fault hook (coherence defect fired).
+    pub dropped_invalidations: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+}
+
+/// The shared memory plus all per-core caches.
+#[derive(Debug)]
+pub struct MemSystem {
+    mem: Vec<u64>,
+    caches: Vec<L1>,
+    /// Behaviour counters.
+    pub stats: MemStats,
+}
+
+impl MemSystem {
+    /// Creates a memory of `bytes` (rounded up to a line) shared by
+    /// `cores` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `bytes == 0`.
+    pub fn new(cores: usize, bytes: u64) -> Self {
+        assert!(cores > 0 && bytes > 0, "degenerate memory system");
+        let words = bytes.div_ceil(LINE_BYTES) as usize * LINE_WORDS;
+        MemSystem {
+            mem: vec![0; words],
+            caches: (0..cores).map(|_| L1::new()).collect(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Total addressable bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.mem.len() * 8) as u64
+    }
+
+    /// Number of cores (caches).
+    pub fn cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    fn word_index(&self, addr: u64) -> usize {
+        assert!(
+            addr.is_multiple_of(8),
+            "unaligned 64-bit access at {addr:#x}"
+        );
+        let idx = (addr / 8) as usize;
+        assert!(idx < self.mem.len(), "address {addr:#x} out of bounds");
+        idx
+    }
+
+    fn line_tag(addr: u64) -> u64 {
+        assert!(
+            addr.is_multiple_of(8),
+            "unaligned 64-bit access at {addr:#x}"
+        );
+        addr & !(LINE_BYTES - 1)
+    }
+
+    /// Reads a word through `core`'s cache.
+    pub fn read_u64(&mut self, core: usize, addr: u64, hook: &mut dyn FaultHook) -> u64 {
+        let tag = Self::line_tag(addr);
+        let word = (addr - tag) as usize / 8;
+        if let Some(line) = self.caches[core].lookup(tag) {
+            self.stats.hits += 1;
+            return line.data[word];
+        }
+        self.stats.misses += 1;
+        let data = self.fetch_line(core, tag, hook);
+        data[word]
+    }
+
+    /// Writes a word through `core`'s cache (write-allocate, write-back).
+    pub fn write_u64(&mut self, core: usize, addr: u64, val: u64, hook: &mut dyn FaultHook) {
+        let tag = Self::line_tag(addr);
+        let word = (addr - tag) as usize / 8;
+        // Fast path: already exclusive or modified.
+        if let Some(line) = self.caches[core].lookup_mut(tag) {
+            match line.state {
+                LineState::Modified => {
+                    self.stats.hits += 1;
+                    line.data[word] = val;
+                    return;
+                }
+                LineState::Exclusive => {
+                    self.stats.hits += 1;
+                    line.state = LineState::Modified;
+                    line.data[word] = val;
+                    return;
+                }
+                LineState::Shared => { /* upgrade below */ }
+            }
+        }
+        // Need exclusive ownership: invalidate other copies.
+        self.invalidate_others(core, tag, hook);
+        if let Some(line) = self.caches[core].lookup_mut(tag) {
+            // S → M upgrade: data is already resident (possibly stale if a
+            // past invalidation to *this* core was dropped — the defect).
+            self.stats.hits += 1;
+            line.state = LineState::Modified;
+            line.data[word] = val;
+            return;
+        }
+        self.stats.misses += 1;
+        let mut data = [0u64; LINE_WORDS];
+        let base = self.word_index(tag);
+        data.copy_from_slice(&self.mem[base..base + LINE_WORDS]);
+        data[word] = val;
+        self.insert_line(
+            core,
+            CacheLine {
+                tag,
+                state: LineState::Modified,
+                data,
+            },
+        );
+    }
+
+    /// Atomic compare-and-swap of the word at `addr`. Returns true (and
+    /// stores `new`) iff the current value equals `expected`.
+    ///
+    /// Atomic RMWs take a dedicated bus transaction that re-reads memory
+    /// after invalidating other copies, so they stay linearizable even
+    /// when the *plain-load* invalidation path drops messages. This
+    /// mirrors the paper's CNST1 case study, where locking still works but
+    /// "the daemon thread sometimes got inconsistent data" through
+    /// ordinary reads. (Without this, a dropped invalidation would leave
+    /// a spin-lock waiter caching a stale `held` word forever — a hang,
+    /// i.e. a *detected* failure, not a silent one.)
+    pub fn cas_u64(
+        &mut self,
+        core: usize,
+        addr: u64,
+        expected: u64,
+        new: u64,
+        hook: &mut dyn FaultHook,
+    ) -> bool {
+        let tag = Self::line_tag(addr);
+        let word = (addr - tag) as usize / 8;
+        // Acquire exclusivity; writebacks of remote dirty copies land in
+        // memory before the re-read below.
+        self.invalidate_others(core, tag, hook);
+        // Discard any local (possibly stale) copy and re-read memory;
+        // a dirty local copy is written back first so no store is lost.
+        let set = L1::set_of(tag);
+        if let Some(line) = self.caches[core].lookup(tag) {
+            if line.state == LineState::Modified {
+                let data = line.data;
+                self.stats.writebacks += 1;
+                let base = self.word_index(tag);
+                self.mem[base..base + LINE_WORDS].copy_from_slice(&data);
+            }
+            self.caches[core].lines[set] = None;
+        }
+        self.stats.misses += 1;
+        let base = self.word_index(tag);
+        let mut data = [0u64; LINE_WORDS];
+        data.copy_from_slice(&self.mem[base..base + LINE_WORDS]);
+        let success = data[word] == expected;
+        if success {
+            data[word] = new;
+        }
+        self.insert_line(
+            core,
+            CacheLine {
+                tag,
+                state: LineState::Modified,
+                data,
+            },
+        );
+        success
+    }
+
+    /// Fetches a line into `core`'s cache (read miss path). Returns the
+    /// line data.
+    fn fetch_line(
+        &mut self,
+        core: usize,
+        tag: u64,
+        _hook: &mut dyn FaultHook,
+    ) -> [u64; LINE_WORDS] {
+        // Snoop: a Modified copy elsewhere is written back and demoted.
+        let mut shared_elsewhere = false;
+        for other in 0..self.caches.len() {
+            if other == core {
+                continue;
+            }
+            if let Some(line) = self.caches[other].lookup_mut(tag) {
+                shared_elsewhere = true;
+                if line.state == LineState::Modified {
+                    let data = line.data;
+                    line.state = LineState::Shared;
+                    self.stats.writebacks += 1;
+                    let base = self.word_index(tag);
+                    self.mem[base..base + LINE_WORDS].copy_from_slice(&data);
+                } else {
+                    line.state = LineState::Shared;
+                }
+            }
+        }
+        let base = self.word_index(tag);
+        let mut data = [0u64; LINE_WORDS];
+        data.copy_from_slice(&self.mem[base..base + LINE_WORDS]);
+        let state = if shared_elsewhere {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
+        self.insert_line(core, CacheLine { tag, state, data });
+        data
+    }
+
+    /// Sends invalidations for `tag` to every core but `core`; the fault
+    /// hook may drop individual deliveries, leaving stale Shared copies.
+    fn invalidate_others(&mut self, core: usize, tag: u64, hook: &mut dyn FaultHook) {
+        for other in 0..self.caches.len() {
+            if other == core {
+                continue;
+            }
+            let present = self.caches[other].lookup(tag).is_some();
+            if !present {
+                continue;
+            }
+            // A Modified copy must be written back so the requester sees
+            // its data (the bus transfer happens regardless of the defect).
+            if let Some(line) = self.caches[other].lookup_mut(tag) {
+                if line.state == LineState::Modified {
+                    let data = line.data;
+                    line.state = LineState::Shared;
+                    self.stats.writebacks += 1;
+                    let base = self.word_index(tag);
+                    self.mem[base..base + LINE_WORDS].copy_from_slice(&data);
+                }
+            }
+            if hook.drop_invalidation(other, tag) {
+                // Defect: the invalidation is lost; the stale copy stays
+                // Shared and keeps serving reads.
+                self.stats.dropped_invalidations += 1;
+            } else {
+                self.stats.invalidations += 1;
+                let set = L1::set_of(tag);
+                self.caches[other].lines[set] = None;
+            }
+        }
+    }
+
+    /// Inserts a line, writing back any evicted dirty line.
+    fn insert_line(&mut self, core: usize, line: CacheLine) {
+        let set = L1::set_of(line.tag);
+        if let Some(old) = self.caches[core].lines[set].take() {
+            if old.state == LineState::Modified {
+                self.stats.writebacks += 1;
+                let base = self.word_index(old.tag);
+                self.mem[base..base + LINE_WORDS].copy_from_slice(&old.data);
+            }
+        }
+        self.caches[core].lines[set] = Some(line);
+    }
+
+    /// Writes back every dirty line (run at machine halt so that raw
+    /// memory inspection sees the final state).
+    pub fn flush_all(&mut self) {
+        for core in 0..self.caches.len() {
+            for set in 0..L1_SETS {
+                if let Some(line) = self.caches[core].lines[set].take() {
+                    if line.state == LineState::Modified {
+                        self.stats.writebacks += 1;
+                        let base = (line.tag / 8) as usize;
+                        self.mem[base..base + LINE_WORDS].copy_from_slice(&line.data);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Raw (non-coherent) word read, for initialization and final
+    /// inspection by the test framework. Call [`MemSystem::flush_all`]
+    /// first when inspecting after a run.
+    pub fn raw_read_u64(&self, addr: u64) -> u64 {
+        assert!(addr.is_multiple_of(8), "unaligned raw read");
+        self.mem[(addr / 8) as usize]
+    }
+
+    /// Raw word write, for workload initialization before a run.
+    pub fn raw_write_u64(&mut self, addr: u64, val: u64) {
+        let idx = self.word_index(addr);
+        self.mem[idx] = val;
+    }
+
+    /// Raw 128-bit read spanning two consecutive words (little endian),
+    /// used for 80-bit extended values stored via `StoreX`.
+    pub fn raw_read_u128(&self, addr: u64) -> u128 {
+        let lo = self.raw_read_u64(addr) as u128;
+        let hi = self.raw_read_u64(addr + 8) as u128;
+        lo | (hi << 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoFaults;
+
+    /// A hook that drops every invalidation aimed at one victim core.
+    struct DropFor {
+        victim: usize,
+    }
+
+    impl FaultHook for DropFor {
+        fn drop_invalidation(&mut self, observer_core: usize, _line: u64) -> bool {
+            observer_core == self.victim
+        }
+    }
+
+    #[test]
+    fn read_after_write_same_core() {
+        let mut m = MemSystem::new(2, 4096);
+        let mut h = NoFaults;
+        m.write_u64(0, 64, 42, &mut h);
+        assert_eq!(m.read_u64(0, 64, &mut h), 42);
+    }
+
+    #[test]
+    fn coherent_read_across_cores() {
+        let mut m = MemSystem::new(2, 4096);
+        let mut h = NoFaults;
+        m.write_u64(0, 128, 7, &mut h);
+        // Core 1 reads the dirty line: writeback + shared fetch.
+        assert_eq!(m.read_u64(1, 128, &mut h), 7);
+        assert!(m.stats.writebacks >= 1);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut m = MemSystem::new(2, 4096);
+        let mut h = NoFaults;
+        m.write_u64(0, 0, 1, &mut h);
+        assert_eq!(m.read_u64(1, 0, &mut h), 1);
+        m.write_u64(0, 0, 2, &mut h);
+        assert!(m.stats.invalidations >= 1);
+        assert_eq!(m.read_u64(1, 0, &mut h), 2, "healthy protocol is coherent");
+    }
+
+    #[test]
+    fn dropped_invalidation_leaves_stale_copy() {
+        let mut m = MemSystem::new(2, 4096);
+        let mut h = DropFor { victim: 1 };
+        m.write_u64(0, 0, 1, &mut h);
+        assert_eq!(m.read_u64(1, 0, &mut h), 1); // line now shared by core 1
+        m.write_u64(0, 0, 2, &mut h); // invalidation to core 1 dropped
+        assert_eq!(m.stats.dropped_invalidations, 1);
+        assert_eq!(m.read_u64(1, 0, &mut h), 1, "core 1 reads stale data");
+        assert_eq!(m.read_u64(0, 0, &mut h), 2, "writer sees its own write");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_line() {
+        let mut m = MemSystem::new(1, LINE_BYTES * (L1_SETS as u64 + 1));
+        let mut h = NoFaults;
+        // Two addresses mapping to the same set.
+        let a = 0u64;
+        let b = LINE_BYTES * L1_SETS as u64;
+        m.write_u64(0, a, 11, &mut h);
+        m.write_u64(0, b, 22, &mut h); // evicts line a
+        assert_eq!(m.raw_read_u64(a), 11, "dirty line written back on eviction");
+        assert_eq!(m.read_u64(0, a, &mut h), 11);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut m = MemSystem::new(2, 4096);
+        let mut h = NoFaults;
+        m.write_u64(0, 8, 5, &mut h);
+        assert!(m.cas_u64(1, 8, 5, 9, &mut h));
+        assert_eq!(m.read_u64(0, 8, &mut h), 9);
+        assert!(!m.cas_u64(0, 8, 5, 100, &mut h));
+        assert_eq!(m.read_u64(0, 8, &mut h), 9);
+    }
+
+    #[test]
+    fn flush_exposes_final_state_to_raw_reads() {
+        let mut m = MemSystem::new(2, 4096);
+        let mut h = NoFaults;
+        m.write_u64(0, 256, 1234, &mut h);
+        assert_ne!(m.raw_read_u64(256), 1234, "still dirty in cache");
+        m.flush_all();
+        assert_eq!(m.raw_read_u64(256), 1234);
+    }
+
+    #[test]
+    fn raw_u128_roundtrip() {
+        let mut m = MemSystem::new(1, 4096);
+        m.raw_write_u64(16, 0xdead_beef);
+        m.raw_write_u64(24, 0xcafe);
+        assert_eq!(m.raw_read_u128(16), 0xdead_beef | (0xcafeu128 << 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        let mut m = MemSystem::new(1, 4096);
+        let mut h = NoFaults;
+        let _ = m.read_u64(0, 3, &mut h);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut m = MemSystem::new(1, 4096);
+        let mut h = NoFaults;
+        m.write_u64(0, 1 << 30, 1, &mut h);
+    }
+}

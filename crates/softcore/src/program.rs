@@ -1,0 +1,478 @@
+//! Programs and the builder used by testcase generators.
+
+use crate::inst::{FOpKind, Inst, IntOpKind, LaneType, Precision, VOpKind, XOpKind};
+use crate::regs::{NUM_FLOAT_REGS, NUM_INT_REGS, NUM_VEC_REGS, NUM_X87_REGS};
+use sdc_model::DataType;
+use std::collections::HashMap;
+
+/// A validated, immutable program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Inst>,
+    loop_ends: HashMap<usize, usize>,
+}
+
+impl Program {
+    /// The instruction sequence.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The pc of the `LoopEnd` matching the `LoopStart` at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not a `LoopStart` (cannot happen for programs
+    /// produced by [`ProgramBuilder::build`]).
+    pub fn loop_end_of(&self, pc: usize) -> usize {
+        *self
+            .loop_ends
+            .get(&pc)
+            .expect("pc is a validated LoopStart")
+    }
+
+    /// A static estimate of executed instructions (loop bodies multiplied
+    /// by their counts), used by the framework to size test durations.
+    pub fn estimated_steps(&self) -> u64 {
+        let mut total = 0u64;
+        let mut multipliers: Vec<u64> = vec![1];
+        for inst in &self.insts {
+            match inst {
+                Inst::LoopStart { count } => {
+                    total += multipliers.last().unwrap();
+                    let m = multipliers.last().unwrap().saturating_mul(*count as u64);
+                    multipliers.push(m);
+                }
+                Inst::LoopEnd => {
+                    total += multipliers.last().unwrap();
+                    multipliers.pop();
+                }
+                _ => total += multipliers.last().unwrap(),
+            }
+        }
+        total
+    }
+}
+
+/// Incremental program builder with register-index and loop validation.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    open_loops: Vec<usize>,
+}
+
+impl ProgramBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Appends a raw instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range register indices.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        validate_regs(&inst);
+        if let Inst::LoopStart { .. } = inst {
+            self.open_loops.push(self.insts.len());
+        }
+        if let Inst::LoopEnd = inst {
+            assert!(self.open_loops.pop().is_some(), "LoopEnd without LoopStart");
+        }
+        self.insts.push(inst);
+        self
+    }
+
+    /// `dst ← imm`.
+    pub fn mov_imm(&mut self, dst: u8, imm: u64) -> &mut Self {
+        self.push(Inst::MovImm { dst, imm })
+    }
+
+    /// `dst ← src`.
+    pub fn mov(&mut self, dst: u8, src: u8) -> &mut Self {
+        self.push(Inst::Mov { dst, src })
+    }
+
+    /// `dst ← src + imm`.
+    pub fn add_imm(&mut self, dst: u8, src: u8, imm: u64) -> &mut Self {
+        self.push(Inst::AddImm { dst, src, imm })
+    }
+
+    /// Integer ALU operation.
+    pub fn int_op(&mut self, op: IntOpKind, dt: DataType, dst: u8, a: u8, b: u8) -> &mut Self {
+        self.push(Inst::IntOp { op, dt, dst, a, b })
+    }
+
+    /// `fdst ← imm`.
+    pub fn fmov_imm(&mut self, dst: u8, imm: f64) -> &mut Self {
+        self.push(Inst::FMovImm { dst, imm })
+    }
+
+    /// Scalar float operation.
+    pub fn fop(&mut self, op: FOpKind, prec: Precision, dst: u8, a: u8, b: u8) -> &mut Self {
+        self.push(Inst::FOp {
+            op,
+            prec,
+            dst,
+            a,
+            b,
+        })
+    }
+
+    /// Scalar fused multiply-add.
+    pub fn ffma(&mut self, prec: Precision, dst: u8, a: u8, b: u8, c: u8) -> &mut Self {
+        self.push(Inst::FFma { prec, dst, a, b, c })
+    }
+
+    /// Scalar arctangent.
+    pub fn fatan(&mut self, prec: Precision, dst: u8, a: u8) -> &mut Self {
+        self.push(Inst::FAtan { prec, dst, a })
+    }
+
+    /// x87 arithmetic.
+    pub fn xop(&mut self, op: XOpKind, dst: u8, a: u8, b: u8) -> &mut Self {
+        self.push(Inst::XOp { op, dst, a, b })
+    }
+
+    /// x87 arctangent.
+    pub fn xatan(&mut self, dst: u8, a: u8) -> &mut Self {
+        self.push(Inst::XAtan { dst, a })
+    }
+
+    /// Vector operation.
+    pub fn vop(&mut self, op: VOpKind, lane: LaneType, dst: u8, a: u8, b: u8, c: u8) -> &mut Self {
+        self.push(Inst::VOp {
+            op,
+            lane,
+            dst,
+            a,
+            b,
+            c,
+        })
+    }
+
+    /// Cached 64-bit load.
+    pub fn load(&mut self, dst: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::Load { dst, addr, offset })
+    }
+
+    /// Cached 64-bit store.
+    pub fn store(&mut self, src: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::Store { src, addr, offset })
+    }
+
+    /// Float load.
+    pub fn load_f(&mut self, dst: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::LoadF { dst, addr, offset })
+    }
+
+    /// Float store.
+    pub fn store_f(&mut self, src: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::StoreF { src, addr, offset })
+    }
+
+    /// Vector load.
+    pub fn load_v(&mut self, dst: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::LoadV { dst, addr, offset })
+    }
+
+    /// Vector store.
+    pub fn store_v(&mut self, src: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::StoreV { src, addr, offset })
+    }
+
+    /// x87 load (80-bit encoding, 16 bytes).
+    pub fn load_x(&mut self, dst: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::LoadX { dst, addr, offset })
+    }
+
+    /// x87 store.
+    pub fn store_x(&mut self, src: u8, addr: u8, offset: u64) -> &mut Self {
+        self.push(Inst::StoreX { src, addr, offset })
+    }
+
+    /// CRC32 accumulation step.
+    pub fn crc32_step(&mut self, dst: u8, acc: u8, data: u8) -> &mut Self {
+        self.push(Inst::Crc32Step { dst, acc, data })
+    }
+
+    /// Hash mixing step.
+    pub fn hash_mix(&mut self, dst: u8, acc: u8, data: u8) -> &mut Self {
+        self.push(Inst::HashMix { dst, acc, data })
+    }
+
+    /// Lock acquire (spin).
+    pub fn lock_acquire(&mut self, addr: u8) -> &mut Self {
+        self.push(Inst::LockAcquire { addr })
+    }
+
+    /// Lock release.
+    pub fn lock_release(&mut self, addr: u8) -> &mut Self {
+        self.push(Inst::LockRelease { addr })
+    }
+
+    /// Long-latency low-power filler.
+    pub fn pause(&mut self) -> &mut Self {
+        self.push(Inst::Pause)
+    }
+
+    /// `dst ← (a != b)`.
+    pub fn cmp_ne(&mut self, dst: u8, a: u8, b: u8) -> &mut Self {
+        self.push(Inst::CmpNe { dst, a, b })
+    }
+
+    /// Transaction begin.
+    pub fn tx_begin(&mut self) -> &mut Self {
+        self.push(Inst::TxBegin)
+    }
+
+    /// Transaction commit; `dst` receives the success flag.
+    pub fn tx_commit(&mut self, dst: u8) -> &mut Self {
+        self.push(Inst::TxCommit { dst })
+    }
+
+    /// Opens a counted loop.
+    pub fn loop_start(&mut self, count: u32) -> &mut Self {
+        self.push(Inst::LoopStart { count })
+    }
+
+    /// Closes the innermost loop.
+    pub fn loop_end(&mut self) -> &mut Self {
+        self.push(Inst::LoopEnd)
+    }
+
+    /// Finalizes the program: validates loop nesting, appends a trailing
+    /// `Halt` if missing, and precomputes loop-end positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop is left open.
+    pub fn build(mut self) -> Program {
+        assert!(self.open_loops.is_empty(), "unclosed LoopStart");
+        if !matches!(self.insts.last(), Some(Inst::Halt)) {
+            self.insts.push(Inst::Halt);
+        }
+        let mut stack = Vec::new();
+        let mut loop_ends = HashMap::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            match inst {
+                Inst::LoopStart { .. } => stack.push(pc),
+                Inst::LoopEnd => {
+                    let start = stack.pop().expect("validated nesting");
+                    loop_ends.insert(start, pc);
+                }
+                _ => {}
+            }
+        }
+        Program {
+            insts: self.insts,
+            loop_ends,
+        }
+    }
+}
+
+/// Panics on out-of-range register indices.
+fn validate_regs(inst: &Inst) {
+    let int = |r: u8| assert!((r as usize) < NUM_INT_REGS, "int reg {r} out of range");
+    let flt = |r: u8| assert!((r as usize) < NUM_FLOAT_REGS, "float reg {r} out of range");
+    let x87 = |r: u8| assert!((r as usize) < NUM_X87_REGS, "x87 reg {r} out of range");
+    let vec = |r: u8| assert!((r as usize) < NUM_VEC_REGS, "vec reg {r} out of range");
+    match *inst {
+        Inst::MovImm { dst, .. } => int(dst),
+        Inst::Mov { dst, src } => {
+            int(dst);
+            int(src);
+        }
+        Inst::AddImm { dst, src, .. } => {
+            int(dst);
+            int(src);
+        }
+        Inst::IntOp { dst, a, b, .. } => {
+            int(dst);
+            int(a);
+            int(b);
+        }
+        Inst::FMovImm { dst, .. } => flt(dst),
+        Inst::FOp { dst, a, b, .. } => {
+            flt(dst);
+            flt(a);
+            flt(b);
+        }
+        Inst::FFma { dst, a, b, c, .. } => {
+            flt(dst);
+            flt(a);
+            flt(b);
+            flt(c);
+        }
+        Inst::FAtan { dst, a, .. } => {
+            flt(dst);
+            flt(a);
+        }
+        Inst::XFromF { dst, src } => {
+            x87(dst);
+            flt(src);
+        }
+        Inst::XToF { dst, src } => {
+            flt(dst);
+            x87(src);
+        }
+        Inst::XOp { dst, a, b, .. } => {
+            x87(dst);
+            x87(a);
+            x87(b);
+        }
+        Inst::XAtan { dst, a } => {
+            x87(dst);
+            x87(a);
+        }
+        Inst::VOp { dst, a, b, c, .. } => {
+            vec(dst);
+            vec(a);
+            vec(b);
+            vec(c);
+        }
+        Inst::Crc32Step { dst, acc, data } | Inst::HashMix { dst, acc, data } => {
+            int(dst);
+            int(acc);
+            int(data);
+        }
+        Inst::Load { dst, addr, .. } => {
+            int(dst);
+            int(addr);
+        }
+        Inst::Store { src, addr, .. } => {
+            int(src);
+            int(addr);
+        }
+        Inst::LoadF { dst, addr, .. } => {
+            flt(dst);
+            int(addr);
+        }
+        Inst::StoreF { src, addr, .. } => {
+            flt(src);
+            int(addr);
+        }
+        Inst::LoadV { dst, addr, .. } => {
+            vec(dst);
+            int(addr);
+        }
+        Inst::StoreV { src, addr, .. } => {
+            vec(src);
+            int(addr);
+        }
+        Inst::LoadX { dst, addr, .. } => {
+            x87(dst);
+            int(addr);
+        }
+        Inst::StoreX { src, addr, .. } => {
+            x87(src);
+            int(addr);
+        }
+        Inst::Cas {
+            dst,
+            addr,
+            expected,
+            new,
+        } => {
+            int(dst);
+            int(addr);
+            int(expected);
+            int(new);
+        }
+        Inst::LockAcquire { addr } | Inst::LockRelease { addr } => int(addr),
+        Inst::TxBegin | Inst::LoopStart { .. } | Inst::LoopEnd | Inst::Halt | Inst::Pause => {}
+        Inst::TxCommit { dst } => int(dst),
+        Inst::CmpNe { dst, a, b } => {
+            int(dst);
+            int(a);
+            int(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_appends_halt() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 1);
+        let p = b.build();
+        assert!(matches!(p.insts().last(), Some(Inst::Halt)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn build_does_not_double_halt() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Halt);
+        let p = b.build();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn loop_ends_precomputed() {
+        let mut b = ProgramBuilder::new();
+        b.loop_start(2); // pc 0
+        b.loop_start(3); // pc 1
+        b.mov_imm(0, 1); // pc 2
+        b.loop_end(); // pc 3
+        b.loop_end(); // pc 4
+        let p = b.build();
+        assert_eq!(p.loop_end_of(0), 4);
+        assert_eq!(p.loop_end_of(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed LoopStart")]
+    fn unclosed_loop_panics() {
+        let mut b = ProgramBuilder::new();
+        b.loop_start(2);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "LoopEnd without LoopStart")]
+    fn dangling_loop_end_panics() {
+        let mut b = ProgramBuilder::new();
+        b.loop_end();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_validation() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(200, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "x87 reg")]
+    fn x87_register_range_is_small() {
+        let mut b = ProgramBuilder::new();
+        b.xatan(9, 0);
+    }
+
+    #[test]
+    fn estimated_steps_accounts_for_loops() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 1); // 1
+        b.loop_start(10); // 1
+        b.mov_imm(1, 2); // 10
+        b.loop_end(); // 10
+        let p = b.build();
+        // 1 + 1 + 10 + 10 + 1 (halt) = 23
+        assert_eq!(p.estimated_steps(), 23);
+    }
+}

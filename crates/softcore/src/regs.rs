@@ -1,0 +1,196 @@
+//! Per-core register files.
+
+use softfloat::F80;
+
+/// Number of integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of scalar float registers.
+pub const NUM_FLOAT_REGS: usize = 32;
+/// Number of x87 extended-precision registers.
+pub const NUM_X87_REGS: usize = 8;
+/// Number of 256-bit vector registers.
+pub const NUM_VEC_REGS: usize = 16;
+
+/// A 256-bit vector register as four 64-bit words, little-endian lanes.
+pub type VecReg = [u64; 4];
+
+/// The architectural register state of one core.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    int: [u64; NUM_INT_REGS],
+    float: [f64; NUM_FLOAT_REGS],
+    x87: [F80; NUM_X87_REGS],
+    vec: [VecReg; NUM_VEC_REGS],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile {
+            int: [0; NUM_INT_REGS],
+            float: [0.0; NUM_FLOAT_REGS],
+            x87: [F80::ZERO; NUM_X87_REGS],
+            vec: [[0; 4]; NUM_VEC_REGS],
+        }
+    }
+}
+
+impl RegFile {
+    /// Fresh register file, all zeros.
+    pub fn new() -> Self {
+        RegFile::default()
+    }
+
+    /// Reads integer register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range register index (a malformed program).
+    pub fn int(&self, r: u8) -> u64 {
+        self.int[r as usize]
+    }
+
+    /// Writes integer register `r`.
+    pub fn set_int(&mut self, r: u8, v: u64) {
+        self.int[r as usize] = v;
+    }
+
+    /// Reads float register `r`.
+    pub fn float(&self, r: u8) -> f64 {
+        self.float[r as usize]
+    }
+
+    /// Writes float register `r`.
+    pub fn set_float(&mut self, r: u8, v: f64) {
+        self.float[r as usize] = v;
+    }
+
+    /// Reads x87 register `r`.
+    pub fn x87(&self, r: u8) -> F80 {
+        self.x87[r as usize]
+    }
+
+    /// Writes x87 register `r`.
+    pub fn set_x87(&mut self, r: u8, v: F80) {
+        self.x87[r as usize] = v;
+    }
+
+    /// Reads vector register `r`.
+    pub fn vec(&self, r: u8) -> VecReg {
+        self.vec[r as usize]
+    }
+
+    /// Writes vector register `r`.
+    pub fn set_vec(&mut self, r: u8, v: VecReg) {
+        self.vec[r as usize] = v;
+    }
+}
+
+/// Views a vector register as eight `f32` lanes.
+pub fn vec_as_f32(v: &VecReg) -> [f32; 8] {
+    let mut out = [0f32; 8];
+    for (i, lane) in out.iter_mut().enumerate() {
+        let word = v[i / 2];
+        let half = ((word >> ((i % 2) * 32)) & 0xffff_ffff) as u32;
+        *lane = f32::from_bits(half);
+    }
+    out
+}
+
+/// Packs eight `f32` lanes into a vector register.
+pub fn f32_as_vec(lanes: &[f32; 8]) -> VecReg {
+    let mut v = [0u64; 4];
+    for (i, lane) in lanes.iter().enumerate() {
+        let bits = lane.to_bits() as u64;
+        v[i / 2] |= bits << ((i % 2) * 32);
+    }
+    v
+}
+
+/// Views a vector register as four `f64` lanes.
+pub fn vec_as_f64(v: &VecReg) -> [f64; 4] {
+    [
+        f64::from_bits(v[0]),
+        f64::from_bits(v[1]),
+        f64::from_bits(v[2]),
+        f64::from_bits(v[3]),
+    ]
+}
+
+/// Packs four `f64` lanes into a vector register.
+pub fn f64_as_vec(lanes: &[f64; 4]) -> VecReg {
+    [
+        lanes[0].to_bits(),
+        lanes[1].to_bits(),
+        lanes[2].to_bits(),
+        lanes[3].to_bits(),
+    ]
+}
+
+/// Views a vector register as eight `i32` lanes.
+pub fn vec_as_i32(v: &VecReg) -> [i32; 8] {
+    let mut out = [0i32; 8];
+    for (i, lane) in out.iter_mut().enumerate() {
+        let word = v[i / 2];
+        *lane = ((word >> ((i % 2) * 32)) & 0xffff_ffff) as u32 as i32;
+    }
+    out
+}
+
+/// Packs eight `i32` lanes into a vector register.
+pub fn i32_as_vec(lanes: &[i32; 8]) -> VecReg {
+    let mut v = [0u64; 4];
+    for (i, lane) in lanes.iter().enumerate() {
+        let bits = *lane as u32 as u64;
+        v[i / 2] |= bits << ((i % 2) * 32);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let mut r = RegFile::new();
+        r.set_int(5, 0xdead_beef);
+        assert_eq!(r.int(5), 0xdead_beef);
+        assert_eq!(r.int(6), 0);
+    }
+
+    #[test]
+    fn float_and_x87_roundtrip() {
+        let mut r = RegFile::new();
+        r.set_float(1, 2.5);
+        r.set_x87(2, F80::from_f64(-7.0));
+        assert_eq!(r.float(1), 2.5);
+        assert_eq!(r.x87(2).to_f64(), -7.0);
+    }
+
+    #[test]
+    fn f32_lane_roundtrip() {
+        let lanes = [1.0f32, -2.0, 3.5, 0.0, 1e-3, 1e3, -0.5, 42.0];
+        assert_eq!(vec_as_f32(&f32_as_vec(&lanes)), lanes);
+    }
+
+    #[test]
+    fn f64_lane_roundtrip() {
+        let lanes = [1.0f64, -2.0, 3.5e100, 1e-300];
+        assert_eq!(vec_as_f64(&f64_as_vec(&lanes)), lanes);
+    }
+
+    #[test]
+    fn i32_lane_roundtrip() {
+        let lanes = [1i32, -2, i32::MAX, i32::MIN, 0, 7, -7, 1000];
+        assert_eq!(vec_as_i32(&i32_as_vec(&lanes)), lanes);
+    }
+
+    #[test]
+    fn lane_packing_is_position_faithful() {
+        let mut lanes = [0f32; 8];
+        lanes[3] = 9.25;
+        let v = f32_as_vec(&lanes);
+        // Lane 3 lives in the high half of word 1.
+        assert_eq!((v[1] >> 32) as u32, 9.25f32.to_bits());
+    }
+}

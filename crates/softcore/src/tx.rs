@@ -1,0 +1,187 @@
+//! Hardware transactional memory.
+//!
+//! A transaction buffers writes and records the values it has read; at
+//! commit the read set is validated against the current memory state, and
+//! a conflict aborts the transaction. Processor CNST2's defect —
+//! "instructions responsible for managing the transactional region" — is
+//! modelled by a fault hook that forces a conflicted transaction to commit
+//! anyway, breaking isolation.
+
+use crate::hooks::FaultHook;
+use crate::mem::MemSystem;
+use std::collections::BTreeMap;
+
+/// Per-core transactional state.
+#[derive(Debug, Clone, Default)]
+pub struct TxState {
+    active: bool,
+    /// Values observed by transactional reads (first read wins — later
+    /// validation compares against this snapshot).
+    read_set: BTreeMap<u64, u64>,
+    /// Buffered transactional writes.
+    write_set: BTreeMap<u64, u64>,
+    /// Successful commits on this core.
+    pub commits: u64,
+    /// Aborted transactions on this core.
+    pub aborts: u64,
+}
+
+impl TxState {
+    /// Fresh, inactive state.
+    pub fn new() -> Self {
+        TxState::default()
+    }
+
+    /// Whether a transaction is active.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Begins a transaction. Beginning while active aborts the previous
+    /// transaction (flat nesting, like real HTM on abort paths).
+    pub fn begin(&mut self) {
+        self.active = true;
+        self.read_set.clear();
+        self.write_set.clear();
+    }
+
+    /// Transactional read: own writes first, then memory (recording the
+    /// observed value for validation).
+    pub fn read(
+        &mut self,
+        core: usize,
+        addr: u64,
+        mem: &mut MemSystem,
+        hook: &mut dyn FaultHook,
+    ) -> u64 {
+        if let Some(&v) = self.write_set.get(&addr) {
+            return v;
+        }
+        let v = mem.read_u64(core, addr, hook);
+        self.read_set.entry(addr).or_insert(v);
+        v
+    }
+
+    /// Transactional write: buffered until commit.
+    pub fn write(&mut self, addr: u64, val: u64) {
+        self.write_set.insert(addr, val);
+    }
+
+    /// Attempts to commit. Returns true on commit, false on abort.
+    ///
+    /// Validation re-reads every read-set address; any changed value is a
+    /// conflict. On conflict the hook may force the commit (the CNST2
+    /// defect), publishing writes despite lost isolation.
+    pub fn commit(&mut self, core: usize, mem: &mut MemSystem, hook: &mut dyn FaultHook) -> bool {
+        if !self.active {
+            return false;
+        }
+        self.active = false;
+        let mut conflict = false;
+        for (&addr, &seen) in &self.read_set {
+            if mem.read_u64(core, addr, hook) != seen {
+                conflict = true;
+                break;
+            }
+        }
+        if conflict && !hook.tx_commit_despite_conflict(core) {
+            self.aborts += 1;
+            self.read_set.clear();
+            self.write_set.clear();
+            return false;
+        }
+        for (&addr, &val) in &self.write_set {
+            mem.write_u64(core, addr, val, hook);
+        }
+        self.commits += 1;
+        self.read_set.clear();
+        self.write_set.clear();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoFaults;
+
+    struct ForceCommit;
+
+    impl FaultHook for ForceCommit {
+        fn tx_commit_despite_conflict(&mut self, _core: usize) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn read_own_write() {
+        let mut mem = MemSystem::new(1, 4096);
+        let mut h = NoFaults;
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.write(64, 5);
+        assert_eq!(tx.read(0, 64, &mut mem, &mut h), 5);
+    }
+
+    #[test]
+    fn commit_publishes_writes() {
+        let mut mem = MemSystem::new(1, 4096);
+        let mut h = NoFaults;
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.write(0, 11);
+        tx.write(8, 22);
+        assert!(tx.commit(0, &mut mem, &mut h));
+        assert_eq!(mem.read_u64(0, 0, &mut h), 11);
+        assert_eq!(mem.read_u64(0, 8, &mut h), 22);
+        assert!(!tx.active());
+    }
+
+    #[test]
+    fn conflicting_commit_aborts() {
+        let mut mem = MemSystem::new(2, 4096);
+        let mut h = NoFaults;
+        let mut tx = TxState::new();
+        tx.begin();
+        let v = tx.read(0, 0, &mut mem, &mut h);
+        assert_eq!(v, 0);
+        // Core 1 races a write to the read-set address.
+        mem.write_u64(1, 0, 99, &mut h);
+        tx.write(8, 1);
+        assert!(!tx.commit(0, &mut mem, &mut h), "conflict must abort");
+        assert_eq!(mem.read_u64(0, 8, &mut h), 0, "aborted writes invisible");
+    }
+
+    #[test]
+    fn defective_htm_commits_despite_conflict() {
+        let mut mem = MemSystem::new(2, 4096);
+        let mut h = ForceCommit;
+        let mut tx = TxState::new();
+        tx.begin();
+        let _ = tx.read(0, 0, &mut mem, &mut h);
+        mem.write_u64(1, 0, 99, &mut h);
+        tx.write(8, 1);
+        assert!(tx.commit(0, &mut mem, &mut h), "defect forces the commit");
+        assert_eq!(mem.read_u64(0, 8, &mut h), 1, "isolation violated");
+    }
+
+    #[test]
+    fn commit_without_begin_fails() {
+        let mut mem = MemSystem::new(1, 4096);
+        let mut h = NoFaults;
+        let mut tx = TxState::new();
+        assert!(!tx.commit(0, &mut mem, &mut h));
+    }
+
+    #[test]
+    fn begin_resets_previous_state() {
+        let mut mem = MemSystem::new(1, 4096);
+        let mut h = NoFaults;
+        let mut tx = TxState::new();
+        tx.begin();
+        tx.write(0, 1);
+        tx.begin(); // implicit abort of the first transaction
+        assert!(tx.commit(0, &mut mem, &mut h));
+        assert_eq!(mem.read_u64(0, 0, &mut h), 0, "first tx write discarded");
+    }
+}

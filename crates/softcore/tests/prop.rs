@@ -1,0 +1,136 @@
+//! Property-based tests for the VM substrate: ISA semantics against host
+//! arithmetic, MESI coherence invariants, and interleaving robustness.
+
+use proptest::prelude::*;
+use sdc_model::{DataType, DetRng};
+use softcore::cpu::{crc32_step, hash_mix};
+use softcore::{FOpKind, IntOpKind, Machine, NoFaults, Precision, ProgramBuilder};
+
+/// Runs a single-core program to completion and returns the machine.
+fn run1(p: softcore::Program, seed: u64) -> Machine {
+    let mut m = Machine::new(1, 1 << 16);
+    m.load(0, p);
+    let mut rng = DetRng::new(seed);
+    let out = m.run(&mut NoFaults, &mut rng, 10_000_000);
+    assert!(out.completed);
+    m
+}
+
+proptest! {
+    #[test]
+    fn int_add_matches_host(a in any::<u32>(), b in any::<u32>()) {
+        let mut builder = ProgramBuilder::new();
+        builder.mov_imm(0, a as u64).mov_imm(1, b as u64);
+        builder.int_op(IntOpKind::Add, DataType::U32, 2, 0, 1);
+        let m = run1(builder.build(), 1);
+        prop_assert_eq!(m.core(0).regs.int(2) as u32, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn int_mul_and_div_match_host(a in any::<u32>(), b in 1u32..) {
+        let mut builder = ProgramBuilder::new();
+        builder.mov_imm(0, a as u64).mov_imm(1, b as u64);
+        builder.int_op(IntOpKind::Mul, DataType::U32, 2, 0, 1);
+        builder.int_op(IntOpKind::Div, DataType::U32, 3, 0, 1);
+        let m = run1(builder.build(), 2);
+        prop_assert_eq!(m.core(0).regs.int(2) as u32, a.wrapping_mul(b));
+        prop_assert_eq!(m.core(0).regs.int(3) as u32, a / b);
+    }
+
+    #[test]
+    fn int_ops_respect_width(a in any::<u64>(), b in any::<u64>()) {
+        let mut builder = ProgramBuilder::new();
+        builder.mov_imm(0, a).mov_imm(1, b);
+        builder.int_op(IntOpKind::Add, DataType::I16, 2, 0, 1);
+        builder.int_op(IntOpKind::Xor, DataType::Byte, 3, 0, 1);
+        let m = run1(builder.build(), 3);
+        prop_assert_eq!(
+            m.core(0).regs.int(2),
+            ((a as u16).wrapping_add(b as u16)) as u64
+        );
+        prop_assert_eq!(m.core(0).regs.int(3), ((a as u8) ^ (b as u8)) as u64);
+    }
+
+    #[test]
+    fn float_ops_match_host(a in -1e100f64..1e100, b in -1e100f64..1e100) {
+        let mut builder = ProgramBuilder::new();
+        builder.fmov_imm(0, a).fmov_imm(1, b);
+        builder.fop(FOpKind::Add, Precision::F64, 2, 0, 1);
+        builder.fop(FOpKind::Mul, Precision::F64, 3, 0, 1);
+        builder.ffma(Precision::F64, 4, 0, 1, 2);
+        let m = run1(builder.build(), 4);
+        prop_assert_eq!(m.core(0).regs.float(2).to_bits(), (a + b).to_bits());
+        prop_assert_eq!(m.core(0).regs.float(3).to_bits(), (a * b).to_bits());
+        prop_assert_eq!(m.core(0).regs.float(4).to_bits(), a.mul_add(b, a + b).to_bits());
+    }
+
+    #[test]
+    fn memory_roundtrips(vals in prop::collection::vec(any::<u64>(), 1..16)) {
+        let mut builder = ProgramBuilder::new();
+        builder.mov_imm(0, 0x400);
+        for (i, &v) in vals.iter().enumerate() {
+            builder.mov_imm(1, v);
+            builder.store(1, 0, (i as u64) * 8);
+        }
+        for (i, _) in vals.iter().enumerate() {
+            builder.load((2 + i % 8) as u8, 0, (i as u64) * 8);
+        }
+        let m = run1(builder.build(), 5);
+        // The last store/load pair must roundtrip; spot-check via memory.
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(m.mem.raw_read_u64(0x400 + (i as u64) * 8), v);
+        }
+    }
+
+    #[test]
+    fn crc_and_hash_are_pure(acc in any::<u32>(), data in any::<u64>()) {
+        prop_assert_eq!(crc32_step(acc, data), crc32_step(acc, data));
+        prop_assert_eq!(hash_mix(acc as u64, data), hash_mix(acc as u64, data));
+        // Single-bit sensitivity.
+        prop_assert_ne!(crc32_step(acc, data), crc32_step(acc, data ^ 1));
+        prop_assert_ne!(hash_mix(acc as u64, data), hash_mix(acc as u64, data ^ 1));
+    }
+
+    #[test]
+    fn lock_counter_invariant_under_any_interleaving(
+        seed in any::<u64>(),
+        threads in 2usize..5,
+        rounds in 1u32..20,
+    ) {
+        let mut m = Machine::new(threads, 1 << 16);
+        for t in 0..threads {
+            let mut b = ProgramBuilder::new();
+            b.mov_imm(0, 0).mov_imm(1, 128).mov_imm(2, 1).loop_start(rounds);
+            b.lock_acquire(0);
+            b.load(3, 1, 0);
+            b.int_op(IntOpKind::Add, DataType::Bin64, 3, 3, 2);
+            b.store(3, 1, 0);
+            b.lock_release(0);
+            b.loop_end();
+            m.load(t, b.build());
+        }
+        let mut rng = DetRng::new(seed);
+        let out = m.run(&mut NoFaults, &mut rng, 100_000_000);
+        prop_assert!(out.completed);
+        prop_assert_eq!(m.mem.raw_read_u64(128), threads as u64 * rounds as u64);
+    }
+
+    #[test]
+    fn coherent_reads_after_remote_writes(seed in any::<u64>(), val in any::<u64>()) {
+        // Core 0 writes, halts; core 1 then reads the same address through
+        // its own cache: MESI must deliver the written value.
+        let mut m = Machine::new(2, 4096);
+        let mut w = ProgramBuilder::new();
+        w.mov_imm(0, 256).mov_imm(1, val);
+        w.store(1, 0, 0);
+        m.load(0, w.build());
+        let mut rng = DetRng::new(seed);
+        m.run(&mut NoFaults, &mut rng, 1_000_000);
+        let mut r = ProgramBuilder::new();
+        r.mov_imm(0, 256);
+        r.load(2, 0, 0);
+        m.load(1, r.build());
+        m.run(&mut NoFaults, &mut rng, 1_000_000);
+        prop_assert_eq!(m.core(1).regs.int(2), val);
+    }
+}

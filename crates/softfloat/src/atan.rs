@@ -1,0 +1,153 @@
+//! Arctangent in extended precision.
+//!
+//! The paper's FPU1/FPU2 case studies trace SDCs to "one instruction, which
+//! uses the floating-point calculation feature to calculate a complex math
+//! function (arctangent)". The toolchain's math-function testcases therefore
+//! need a real arctangent running on the extended-precision datapath; this
+//! module provides it via argument reduction and a Maclaurin series
+//! evaluated in [`F80`] arithmetic.
+
+use crate::F80;
+
+/// Arctangent of `x`, computed in extended precision.
+///
+/// Accuracy is at least that of `f64` (constants are `f64`-derived); the
+/// result is fully deterministic, which is what the corruption experiments
+/// require.
+///
+/// # Examples
+///
+/// ```
+/// use softfloat::{atan, F80};
+///
+/// let y = atan(F80::from_f64(1.0)).to_f64();
+/// assert!((y - std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+/// ```
+pub fn atan(x: F80) -> F80 {
+    if x.is_nan() {
+        return F80::NAN;
+    }
+    let half_pi = F80::from_f64(std::f64::consts::FRAC_PI_2);
+    if x.is_infinite() {
+        return if x.is_sign_negative() {
+            half_pi.neg()
+        } else {
+            half_pi
+        };
+    }
+    if x.is_zero() {
+        return x;
+    }
+    // atan is odd: work on |x|.
+    let neg = x.is_sign_negative();
+    let ax = x.abs();
+    let one = F80::ONE;
+    let result = if ax > one {
+        // atan(x) = π/2 − atan(1/x) for x > 0.
+        half_pi - atan_reduced(one / ax)
+    } else {
+        atan_reduced(ax)
+    };
+    if neg {
+        result.neg()
+    } else {
+        result
+    }
+}
+
+/// Arctangent for `0 ≤ x ≤ 1`, with one extra reduction step to keep the
+/// series argument at or below ~0.4.
+fn atan_reduced(x: F80) -> F80 {
+    let half = F80::from_f64(0.5);
+    if x > half {
+        // atan(x) = atan(c) + atan((x − c) / (1 + x·c)) with c = 0.5.
+        let atan_half = atan_series(half);
+        let num = x - half;
+        let den = F80::ONE + x * half;
+        atan_half + atan_series(num / den)
+    } else {
+        atan_series(x)
+    }
+}
+
+/// Maclaurin series `x − x³/3 + x⁵/5 − …` for `|x| ≤ 0.5`.
+fn atan_series(x: F80) -> F80 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut sign = true; // next term is subtracted
+    let mut k = 3u32;
+    // |x| ≤ 0.5 → term ratio ≤ 0.25; 75 terms push the truncation error
+    // below 2^−150, far beyond the 64-bit significand.
+    for _ in 0..75 {
+        term = term * x2;
+        let contrib = term / F80::from_f64(k as f64);
+        sum = if sign { sum - contrib } else { sum + contrib };
+        if contrib.is_zero() {
+            break;
+        }
+        sign = !sign;
+        k += 2;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_f64_atan() {
+        for v in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 2.0, 10.0, 1e6, 1e-9] {
+            let got = atan(F80::from_f64(v)).to_f64();
+            let want = v.atan();
+            assert!(
+                (got - want).abs() <= want.abs().max(1e-300) * 1e-14 + 1e-300,
+                "atan({v}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_symmetry() {
+        for v in [0.3, 1.7, 42.0] {
+            let pos = atan(F80::from_f64(v));
+            let neg = atan(F80::from_f64(-v));
+            assert_eq!(pos, neg.neg());
+        }
+    }
+
+    #[test]
+    fn specials() {
+        assert!(atan(F80::NAN).is_nan());
+        let y = atan(F80::INFINITY).to_f64();
+        assert!((y - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        let y = atan(F80::INFINITY.neg()).to_f64();
+        assert!((y + std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!(atan(F80::ZERO).is_zero());
+        assert!(atan(F80::from_f64(-0.0)).is_sign_negative());
+    }
+
+    #[test]
+    fn atan_one_is_quarter_pi() {
+        let y = atan(F80::ONE).to_f64();
+        assert!((y - std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn monotone_on_samples() {
+        let mut prev = atan(F80::from_f64(-100.0)).to_f64();
+        for i in -99..100 {
+            let y = atan(F80::from_f64(i as f64)).to_f64();
+            assert!(y > prev, "atan not increasing at {i}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = atan(F80::from_f64(0.7321));
+        let b = atan(F80::from_f64(0.7321));
+        assert_eq!(a.encode(), b.encode());
+    }
+}

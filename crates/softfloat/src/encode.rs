@@ -1,0 +1,163 @@
+//! The 80-bit x87 wire encoding.
+//!
+//! Layout (bit 79 downward): sign, 15-bit biased exponent (bias 16383),
+//! 64-bit significand with an *explicit* integer bit. The corruption
+//! experiments flip bits of this encoding (Figure 4(d)), so decoding must
+//! be total: any 80-bit pattern decodes to *something* (possibly NaN, the
+//! fate of "unnormal" patterns on real x87 hardware).
+
+use crate::{Kind, F80};
+
+/// Bias of the 15-bit exponent field.
+const BIAS: i32 = 16383;
+
+impl F80 {
+    /// Encodes into the 80-bit x87 representation (low 80 bits of the
+    /// returned value).
+    pub fn encode(self) -> u128 {
+        let sign = (self.sign as u128) << 79;
+        match self.kind {
+            Kind::Zero => sign,
+            Kind::Inf => sign | (0x7fffu128 << 64) | (1u128 << 63),
+            Kind::Nan => sign | (0x7fffu128 << 64) | (0b11u128 << 62),
+            Kind::Normal { exp, sig } => {
+                let biased = exp + BIAS;
+                if biased >= 0x7fff {
+                    // Saturate to infinity.
+                    return sign | (0x7fffu128 << 64) | (1u128 << 63);
+                }
+                if biased <= 0 {
+                    // Denormal: exponent field 0 encodes 2^(1 − BIAS).
+                    let shift = 1 - biased;
+                    if shift > 63 {
+                        return sign; // underflows to zero
+                    }
+                    return sign | ((sig >> shift) as u128);
+                }
+                sign | ((biased as u128) << 64) | sig as u128
+            }
+        }
+    }
+
+    /// Decodes an 80-bit pattern. Total: every pattern maps to a value;
+    /// "unnormal" patterns (nonzero exponent with a clear integer bit)
+    /// decode to NaN, matching modern x87 behaviour.
+    pub fn decode(bits: u128) -> F80 {
+        let sign = (bits >> 79) & 1 == 1;
+        let biased = ((bits >> 64) & 0x7fff) as i32;
+        let sig = (bits & u64::MAX as u128) as u64;
+        match biased {
+            0 => {
+                if sig == 0 {
+                    F80 {
+                        sign,
+                        kind: Kind::Zero,
+                    }
+                } else {
+                    // Denormal: value = sig × 2^(1 − BIAS − 63).
+                    F80::normalized(sign, 1 - BIAS, sig)
+                }
+            }
+            0x7fff => {
+                if sig == 1 << 63 {
+                    F80 {
+                        sign,
+                        kind: Kind::Inf,
+                    }
+                } else {
+                    F80 {
+                        sign,
+                        kind: Kind::Nan,
+                    }
+                }
+            }
+            _ => {
+                if sig >> 63 == 0 {
+                    // Unnormal: invalid on modern hardware.
+                    F80 {
+                        sign,
+                        kind: Kind::Nan,
+                    }
+                } else {
+                    F80 {
+                        sign,
+                        kind: Kind::Normal {
+                            exp: biased - BIAS,
+                            sig,
+                        },
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_one() {
+        let one = F80::ONE.encode();
+        assert_eq!(one, (16383u128 << 64) | (1u128 << 63));
+    }
+
+    #[test]
+    fn roundtrip_values() {
+        for v in [0.0, -0.0, 1.0, -1.0, 0.375, 1e308, 1e-308, 12345.6789] {
+            let x = F80::from_f64(v);
+            let back = F80::decode(x.encode());
+            assert_eq!(back, x, "roundtrip of {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_specials() {
+        assert!(F80::decode(F80::NAN.encode()).is_nan());
+        assert_eq!(F80::decode(F80::INFINITY.encode()), F80::INFINITY);
+        let ninf = F80::INFINITY.neg();
+        assert_eq!(F80::decode(ninf.encode()), ninf);
+    }
+
+    #[test]
+    fn encoding_fits_80_bits() {
+        for v in [1.0, -3.5e200, 7e-120] {
+            assert_eq!(F80::from_f64(v).encode() >> 80, 0);
+        }
+        assert_eq!(F80::NAN.encode() >> 80, 0);
+    }
+
+    #[test]
+    fn unnormal_decodes_to_nan() {
+        // Nonzero exponent with clear integer bit.
+        let bits = (100u128 << 64) | 1234;
+        assert!(F80::decode(bits).is_nan());
+    }
+
+    #[test]
+    fn denormal_roundtrip() {
+        // A value below 2^(1−16383) must encode with exponent field 0.
+        let x = F80::normalized(false, -16390, 1 << 63);
+        let bits = x.encode();
+        assert_eq!((bits >> 64) & 0x7fff, 0);
+        let back = F80::decode(bits);
+        // Re-encoding is stable even if a few low bits truncated.
+        assert_eq!(back.encode(), bits);
+    }
+
+    #[test]
+    fn flipping_fraction_bit_changes_value_slightly() {
+        let x = F80::from_f64(1.5);
+        let corrupted = F80::decode(x.encode() ^ 1);
+        let loss = (corrupted.to_f64() - 1.5).abs() / 1.5;
+        assert!(loss < 1e-18);
+        assert_ne!(corrupted, x);
+    }
+
+    #[test]
+    fn flipping_integer_bit_makes_unnormal_nan() {
+        let x = F80::from_f64(2.0);
+        let corrupted = F80::decode(x.encode() ^ (1u128 << 63));
+        assert!(corrupted.is_nan());
+    }
+}

@@ -1,0 +1,226 @@
+//! Software implementation of the 80-bit x87 extended-precision format.
+//!
+//! Table 3 of the paper lists `float64x` among the datatypes affected by
+//! SDCs, and Figure 4(d)/(h) analyse bitflip positions and precision losses
+//! in 80-bit values. Reproducing those experiments requires executing
+//! extended-precision arithmetic and corrupting its *encoded* form — so this
+//! crate provides a self-contained soft float: a 64-bit explicit-integer-bit
+//! significand with a 15-bit exponent, round-to-nearest-even arithmetic
+//! (add/sub/mul/div), conversions to and from `f64`, the x87 80-bit
+//! encoding, and an `atan` implementation (the paper fingers a defective
+//! arctangent instruction in processors FPU1/FPU2).
+//!
+//! Accuracy notes: arithmetic is correctly rounded with respect to the
+//! 64-bit significand; `atan` is computed by argument reduction plus a
+//! Maclaurin series evaluated in extended arithmetic with `f64`-derived
+//! constants, so its results are deterministic and at least `f64`-accurate,
+//! which is what the corruption experiments need.
+
+mod arith;
+mod atan;
+mod convert;
+mod encode;
+
+pub use atan::atan;
+
+/// Classification of an [`F80`] value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Zero (signed).
+    Zero,
+    /// A normalized finite value: significand has bit 63 set; the numeric
+    /// value is `sig × 2^(exp − 63)`.
+    Normal {
+        /// Unbiased exponent of the most-significant significand bit.
+        exp: i32,
+        /// 64-bit significand with the integer bit (bit 63) set.
+        sig: u64,
+    },
+    /// Infinity (signed).
+    Inf,
+    /// Not-a-number.
+    Nan,
+}
+
+/// An 80-bit extended-precision floating-point value.
+///
+/// # Examples
+///
+/// ```
+/// use softfloat::F80;
+///
+/// let a = F80::from_f64(1.5);
+/// let b = F80::from_f64(2.25);
+/// assert_eq!((a * b).to_f64(), 3.375);
+/// ```
+///
+/// Equality is *value* equality: `+0 == −0`, and `NaN != NaN`. Use
+/// [`F80::encode`] to compare representations bit by bit.
+#[derive(Debug, Clone, Copy)]
+pub struct F80 {
+    pub(crate) sign: bool,
+    pub(crate) kind: Kind,
+}
+
+impl F80 {
+    /// Positive zero.
+    pub const ZERO: F80 = F80 {
+        sign: false,
+        kind: Kind::Zero,
+    };
+
+    /// One.
+    pub const ONE: F80 = F80 {
+        sign: false,
+        kind: Kind::Normal {
+            exp: 0,
+            sig: 1 << 63,
+        },
+    };
+
+    /// Positive infinity.
+    pub const INFINITY: F80 = F80 {
+        sign: false,
+        kind: Kind::Inf,
+    };
+
+    /// A quiet NaN.
+    pub const NAN: F80 = F80 {
+        sign: false,
+        kind: Kind::Nan,
+    };
+
+    /// Builds a normalized value from raw parts, normalizing `sig` so its
+    /// top bit is set (adjusting `exp` accordingly). A zero significand
+    /// yields zero; exponent overflow saturates to infinity and extreme
+    /// underflow flushes to zero.
+    pub(crate) fn normalized(sign: bool, mut exp: i32, mut sig: u64) -> F80 {
+        if sig == 0 {
+            return F80 {
+                sign,
+                kind: Kind::Zero,
+            };
+        }
+        let lz = sig.leading_zeros() as i32;
+        sig <<= lz;
+        exp -= lz;
+        if exp > 16384 {
+            return F80 {
+                sign,
+                kind: Kind::Inf,
+            };
+        }
+        if exp < -16445 {
+            return F80 {
+                sign,
+                kind: Kind::Zero,
+            };
+        }
+        F80 {
+            sign,
+            kind: Kind::Normal { exp, sig },
+        }
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        self.kind == Kind::Nan
+    }
+
+    /// True if the value is ±∞.
+    pub fn is_infinite(self) -> bool {
+        self.kind == Kind::Inf
+    }
+
+    /// True if the value is ±0.
+    pub fn is_zero(self) -> bool {
+        self.kind == Kind::Zero
+    }
+
+    /// True for zero or a normal value (not NaN, not infinite).
+    pub fn is_finite(self) -> bool {
+        matches!(self.kind, Kind::Zero | Kind::Normal { .. })
+    }
+
+    /// Sign bit (true = negative). NaN carries an arbitrary sign.
+    pub fn is_sign_negative(self) -> bool {
+        self.sign
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> F80 {
+        F80 {
+            sign: !self.sign,
+            kind: self.kind,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> F80 {
+        F80 {
+            sign: false,
+            kind: self.kind,
+        }
+    }
+}
+
+impl std::ops::Neg for F80 {
+    type Output = F80;
+    fn neg(self) -> F80 {
+        F80::neg(self)
+    }
+}
+
+impl std::fmt::Display for F80 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert!(F80::ZERO.is_zero());
+        assert!(F80::NAN.is_nan());
+        assert!(F80::INFINITY.is_infinite());
+        assert_eq!(F80::ONE.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let x = F80::from_f64(-2.5);
+        assert!(x.is_sign_negative());
+        assert_eq!(x.abs().to_f64(), 2.5);
+        assert_eq!((-x).to_f64(), 2.5);
+        assert_eq!(x.neg().neg(), x);
+    }
+
+    #[test]
+    fn normalized_handles_zero_sig() {
+        let z = F80::normalized(true, 100, 0);
+        assert!(z.is_zero());
+        assert!(z.is_sign_negative());
+    }
+
+    #[test]
+    fn normalized_shifts_up() {
+        let x = F80::normalized(false, 0, 1);
+        match x.kind {
+            Kind::Normal { exp, sig } => {
+                assert_eq!(sig, 1 << 63);
+                assert_eq!(exp, -63);
+            }
+            _ => panic!("expected normal"),
+        }
+    }
+
+    #[test]
+    fn normalized_overflow_to_inf_and_underflow_to_zero() {
+        assert!(F80::normalized(false, 20000, 1 << 63).is_infinite());
+        assert!(F80::normalized(false, -20000, 1 << 63).is_zero());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the extended-precision soft float.
+
+use proptest::prelude::*;
+use softfloat::{atan, F80};
+
+/// Finite, "reasonable" f64s: avoids overflow in products so results stay
+/// comparable against native f64 arithmetic.
+fn moderate_f64() -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_filter("moderate magnitude", |x| {
+        x.abs() > 1e-100 && x.abs() < 1e100
+    })
+}
+
+/// Any finite f64, including zero and subnormals.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop::num::f64::ANY.prop_filter("finite", |x| x.is_finite())
+}
+
+fn close(a: f64, b: f64, rel: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= a.abs().max(b.abs()) * rel
+}
+
+proptest! {
+    #[test]
+    fn from_to_f64_is_identity(x in finite_f64()) {
+        let y = F80::from_f64(x).to_f64();
+        prop_assert_eq!(y.to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(x in finite_f64()) {
+        let v = F80::from_f64(x);
+        let back = F80::decode(v.encode());
+        prop_assert_eq!(back.encode(), v.encode());
+    }
+
+    #[test]
+    fn encode_fits_80_bits(x in finite_f64()) {
+        prop_assert_eq!(F80::from_f64(x).encode() >> 80, 0);
+    }
+
+    #[test]
+    fn add_commutes(a in moderate_f64(), b in moderate_f64()) {
+        let x = F80::from_f64(a);
+        let y = F80::from_f64(b);
+        prop_assert_eq!((x + y).encode(), (y + x).encode());
+    }
+
+    #[test]
+    fn mul_commutes(a in moderate_f64(), b in moderate_f64()) {
+        let x = F80::from_f64(a);
+        let y = F80::from_f64(b);
+        prop_assert_eq!((x * y).encode(), (y * x).encode());
+    }
+
+    #[test]
+    fn add_matches_f64(a in moderate_f64(), b in moderate_f64()) {
+        let got = (F80::from_f64(a) + F80::from_f64(b)).to_f64();
+        let want = a + b;
+        // F80 addition is more precise than f64; agreement within one f64
+        // ulp-scale relative bound of the inputs' magnitude.
+        let scale = a.abs().max(b.abs()).max(want.abs());
+        prop_assert!((got - want).abs() <= scale * 1e-15, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn mul_matches_f64(a in moderate_f64(), b in moderate_f64()) {
+        let got = (F80::from_f64(a) * F80::from_f64(b)).to_f64();
+        let want = a * b;
+        prop_assert!(close(got, want, 1e-15), "got {got}, want {want}");
+    }
+
+    #[test]
+    fn div_matches_f64(a in moderate_f64(), b in moderate_f64()) {
+        let got = (F80::from_f64(a) / F80::from_f64(b)).to_f64();
+        let want = a / b;
+        prop_assert!(close(got, want, 1e-15), "got {got}, want {want}");
+    }
+
+    #[test]
+    fn sub_self_is_zero(a in moderate_f64()) {
+        let x = F80::from_f64(a);
+        prop_assert!((x - x).is_zero());
+    }
+
+    #[test]
+    fn div_self_is_one(a in moderate_f64()) {
+        let x = F80::from_f64(a);
+        prop_assert_eq!((x / x).encode(), F80::ONE.encode());
+    }
+
+    #[test]
+    fn neg_is_involutive(a in finite_f64()) {
+        let x = F80::from_f64(a);
+        prop_assert_eq!(x.neg().neg().encode(), x.encode());
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in finite_f64(), b in finite_f64()) {
+        let fx = F80::from_f64(a);
+        let fy = F80::from_f64(b);
+        let want = a.partial_cmp(&b);
+        // F80 value comparison treats ±0 as equal, like f64.
+        prop_assert_eq!(fx.partial_cmp(&fy), want);
+    }
+
+    #[test]
+    fn atan_matches_f64(a in -1e6f64..1e6) {
+        let got = atan(F80::from_f64(a)).to_f64();
+        let want = a.atan();
+        prop_assert!((got - want).abs() <= 1e-13, "atan({a}): got {got}, want {want}");
+    }
+
+    #[test]
+    fn atan_bounded_by_half_pi(a in finite_f64()) {
+        let y = atan(F80::from_f64(a)).to_f64();
+        prop_assert!(y.abs() <= std::f64::consts::FRAC_PI_2 + 1e-15);
+    }
+
+    #[test]
+    fn decode_is_total(bits in any::<u128>()) {
+        // Any 80-bit pattern decodes without panicking, and re-encoding a
+        // finite decode stays within 80 bits.
+        let v = F80::decode(bits & ((1u128 << 80) - 1));
+        prop_assert_eq!(v.encode() >> 80, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the thermal model.
+
+use proptest::prelude::*;
+use sdc_model::Duration;
+use thermal::{ThermalConfig, ThermalModel};
+
+fn model(cores: usize) -> ThermalModel {
+    ThermalModel::new(cores, ThermalConfig::default())
+}
+
+proptest! {
+    #[test]
+    fn temperatures_stay_in_physical_range(
+        cores in 1usize..32,
+        powers in prop::collection::vec(0f64..2.0, 1..32),
+        steps in 1usize..100,
+    ) {
+        let mut m = model(cores);
+        for (c, &p) in powers.iter().take(cores).enumerate() {
+            m.set_power(c, p);
+        }
+        for _ in 0..steps {
+            m.advance(Duration::from_secs(1));
+            for c in 0..cores {
+                let t = m.temp(c);
+                prop_assert!(t >= m.config().idle_temp_c - 1e-9, "below idle: {t}");
+                prop_assert!(t <= m.config().max_temp_c + 1e-9, "above max: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn hotter_power_means_hotter_steady_state(
+        p1 in 0f64..1.0,
+        extra in 0.01f64..1.0,
+    ) {
+        let mut a = model(2);
+        let mut b = model(2);
+        a.set_power(0, p1);
+        b.set_power(0, p1 + extra);
+        for _ in 0..300 {
+            a.advance(Duration::from_secs(1));
+            b.advance(Duration::from_secs(1));
+        }
+        prop_assert!(b.temp(0) > a.temp(0));
+    }
+
+    #[test]
+    fn step_composition_is_exact(
+        power in 0f64..1.5,
+        total_secs in 2u64..120,
+    ) {
+        // advance(t) == advance(t/2); advance(t/2) for even t.
+        let half = total_secs / 2;
+        let total = half * 2;
+        let mut a = model(1);
+        let mut b = model(1);
+        a.set_power(0, power);
+        b.set_power(0, power);
+        a.advance(Duration::from_secs(total));
+        b.advance(Duration::from_secs(half));
+        b.advance(Duration::from_secs(half));
+        prop_assert!((a.temp(0) - b.temp(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbours_never_cool_a_core(
+        own in 0f64..1.0,
+        neighbour in 0f64..1.5,
+    ) {
+        let mut alone = model(4);
+        let mut crowded = model(4);
+        alone.set_power(0, own);
+        crowded.set_power(0, own);
+        for c in 1..4 {
+            crowded.set_power(c, neighbour);
+        }
+        for _ in 0..300 {
+            alone.advance(Duration::from_secs(1));
+            crowded.advance(Duration::from_secs(1));
+        }
+        prop_assert!(crowded.temp(0) >= alone.temp(0) - 1e-9);
+    }
+
+    #[test]
+    fn preheat_then_cool_returns_to_idle(target in 46f64..99.0) {
+        let mut m = model(2);
+        m.preheat(target);
+        prop_assert!((m.temp(0) - target).abs() < 1e-9);
+        for _ in 0..1200 {
+            m.advance(Duration::from_secs(1));
+        }
+        prop_assert!((m.temp(0) - m.config().idle_temp_c).abs() < 0.01);
+    }
+
+    #[test]
+    fn cooling_factor_reduces_targets(power in 0.1f64..1.5, factor in 0.1f64..0.99) {
+        let mut m = model(1);
+        m.set_power(0, power);
+        let nominal = m.target_temp(0);
+        m.set_cooling_factor(factor);
+        let boosted = m.target_temp(0);
+        prop_assert!(boosted <= nominal);
+        prop_assert!(boosted >= m.config().idle_temp_c - 1e-9);
+    }
+}

@@ -1,0 +1,1049 @@
+//! Workload program builders.
+//!
+//! Each builder turns a [`WorkloadSpec`] into concrete softcore programs
+//! for a machine shape. Single-threaded (computation) workloads are
+//! instantiated once per machine core — the framework "tests every core in
+//! a processor simultaneously" — each instance working on its own memory
+//! region. Multi-threaded (consistency) workloads are instantiated per
+//! thread *group*, with the group's cores sharing one region.
+
+use crate::testcase::{
+    BuiltTestcase, CheckKind, Invariant, OutputRegion, Testcase, WorkloadKind, WorkloadSpec,
+};
+use rand::RngCore as _;
+use sdc_model::{DataType, DetRng};
+use softcore::cpu::crc32_step;
+use softcore::{
+    FOpKind, Inst, IntOpKind, LaneType, Precision, Program, ProgramBuilder, VOpKind, XOpKind,
+};
+
+/// Bytes reserved per workload instance.
+const REGION_BYTES: u64 = 0x2000;
+/// First instance region starts here (below is scratch/locks).
+const REGION_BASE: u64 = 0x1000;
+/// Offset of the output area within a region.
+const OUT_OFF: u64 = 0x1000;
+/// Offset of the input area within a region.
+const IN_OFF: u64 = 0x0;
+
+/// Builder output for one instance.
+struct Piece {
+    program: Program,
+    mem_init: Vec<(u64, u64)>,
+    outputs: Vec<OutputRegion>,
+    invariants: Vec<Invariant>,
+}
+
+/// Instantiates `tc` for a machine with `machine_cores` cores, with loop
+/// count `iters` and seeded inputs.
+///
+/// # Panics
+///
+/// Panics if `machine_cores` is zero or smaller than the testcase's
+/// thread count.
+pub fn build(tc: &Testcase, machine_cores: usize, iters: u32, seed: u64) -> BuiltTestcase {
+    assert!(machine_cores > 0, "no cores");
+    let threads = tc.threads as usize;
+    assert!(
+        machine_cores >= threads,
+        "machine has fewer cores than testcase threads"
+    );
+    let mut programs: Vec<Option<Program>> = vec![None; machine_cores];
+    let mut mem_init = Vec::new();
+    let mut outputs = Vec::new();
+    let mut invariants = Vec::new();
+    let root = DetRng::new(seed).fork(tc.id.0 as u64);
+
+    let filler = filler_of(tc.kind);
+    if threads == 1 {
+        for (core, slot) in programs.iter_mut().enumerate() {
+            let base = REGION_BASE + core as u64 * REGION_BYTES;
+            let mut rng = root.fork(core as u64);
+            let piece = build_single(&tc.spec, filler, base, iters, &mut rng);
+            *slot = Some(piece.program);
+            mem_init.extend(piece.mem_init);
+            outputs.extend(piece.outputs);
+            invariants.extend(piece.invariants);
+        }
+    } else {
+        let groups = machine_cores / threads;
+        for g in 0..groups.max(1) {
+            let base = REGION_BASE + g as u64 * REGION_BYTES;
+            let mut rng = root.fork(1000 + g as u64);
+            let pieces = build_group(&tc.spec, base, threads, iters, &mut rng);
+            for (t, piece) in pieces.into_iter().enumerate() {
+                let core = g * threads + t;
+                if core < machine_cores {
+                    programs[core] = Some(piece.program);
+                    mem_init.extend(piece.mem_init);
+                    outputs.extend(piece.outputs);
+                    invariants.extend(piece.invariants);
+                }
+            }
+        }
+    }
+
+    let check = if invariants.is_empty() {
+        CheckKind::GoldenCompare
+    } else {
+        CheckKind::Invariants(invariants)
+    };
+    let instances = if threads == 1 {
+        machine_cores
+    } else {
+        machine_cores / threads
+    } as u64;
+    let mem_bytes = REGION_BASE + instances.max(1) * REGION_BYTES + REGION_BYTES;
+    BuiltTestcase {
+        programs,
+        mem_init,
+        outputs,
+        check,
+        mem_bytes,
+    }
+}
+
+/// Iterations of the surrounding-code filler loop per workload iteration,
+/// by complexity tier.
+///
+/// §4.1's usage-stress observation: "Failed testcases use this defective
+/// instruction several orders of magnitude more frequently than other
+/// testcases." Instruction loops are pure target-instruction density;
+/// library kernels run amid surrounding code; application logic buries the
+/// target instructions in orders of magnitude more bookkeeping.
+fn filler_of(kind: WorkloadKind) -> u32 {
+    match kind {
+        WorkloadKind::InstLoop => 0,
+        WorkloadKind::Library => 24, // ≈1.6k filler cycles per iteration
+        WorkloadKind::AppLogic => 480, // ≈32k filler cycles per iteration
+    }
+}
+
+/// Rebuilds a single-threaded workload program with the surrounding-code
+/// filler (a tight counting loop on scratch register 15) injected at the
+/// top of the outermost workload loop.
+fn inject_filler(program: &Program, filler: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut depth = 0u32;
+    let mut injected = false;
+    for &inst in program.insts() {
+        match inst {
+            Inst::LoopStart { .. } => {
+                b.push(inst);
+                depth += 1;
+                if depth == 1 && !injected {
+                    b.loop_start(filler);
+                    b.pause();
+                    b.loop_end();
+                    injected = true;
+                }
+                continue;
+            }
+            Inst::LoopEnd => depth -= 1,
+            _ => {}
+        }
+        b.push(inst);
+    }
+    b.build()
+}
+
+/// Builds a single-threaded instance.
+fn build_single(
+    spec: &WorkloadSpec,
+    filler: u32,
+    base: u64,
+    iters: u32,
+    rng: &mut DetRng,
+) -> Piece {
+    let mut piece = match *spec {
+        WorkloadSpec::IntLoop { dt, family, unroll } => {
+            int_loop(base, dt, family, unroll, iters, rng)
+        }
+        WorkloadSpec::BigInt { limbs } => bigint(base, limbs, iters, rng),
+        WorkloadSpec::StringScan { words } => string_scan(base, words, iters, rng),
+        WorkloadSpec::Crc { words } => crc_loop(base, words, iters, rng),
+        WorkloadSpec::Hash { words } => hash_loop(base, words, iters, rng),
+        WorkloadSpec::FloatLoop {
+            f32_prec,
+            family,
+            unroll,
+        } => float_loop(base, f32_prec, family, unroll, iters, rng),
+        WorkloadSpec::AtanLoop { f32_prec } => atan_loop(base, f32_prec, iters, rng),
+        WorkloadSpec::X87Loop { atan } => x87_loop(base, atan, iters, rng),
+        WorkloadSpec::MatKernel { lane, rows } => mat_kernel(base, lane, rows, iters, rng),
+        WorkloadSpec::Axpy { lane, blocks } => axpy(base, lane, blocks, iters, rng),
+        WorkloadSpec::VecParity { blocks } => vec_parity(base, blocks, iters, rng),
+        WorkloadSpec::LockCounter { .. }
+        | WorkloadSpec::ProducerConsumer { .. }
+        | WorkloadSpec::TxCounter { .. } => {
+            panic!("consistency workload built as single-threaded")
+        }
+    };
+    if filler > 0 {
+        piece.program = inject_filler(&piece.program, filler);
+    }
+    piece
+}
+
+/// Builds a multi-threaded group (one piece per thread); `dilution`
+/// levels add surrounding-code filler to spread the shared-memory event
+/// density across variants (the usage-stress spread of §4.1, applied to
+/// consistency workloads).
+fn build_group(
+    spec: &WorkloadSpec,
+    base: u64,
+    threads: usize,
+    iters: u32,
+    rng: &mut DetRng,
+) -> Vec<Piece> {
+    let (mut pieces, dilution) = match *spec {
+        WorkloadSpec::LockCounter { rounds, dilution } => {
+            (lock_counter(base, threads, rounds, iters), dilution)
+        }
+        WorkloadSpec::ProducerConsumer { words, dilution } => {
+            (producer_consumer(base, words, iters, rng), dilution)
+        }
+        WorkloadSpec::TxCounter { rounds, dilution } => {
+            (tx_counter(base, threads, rounds, iters), dilution)
+        }
+        _ => panic!("computation workload built as group"),
+    };
+    if dilution > 0 {
+        for piece in &mut pieces {
+            piece.program = inject_filler(&piece.program, dilution as u32 * 64);
+        }
+    }
+    pieces
+}
+
+fn lane_of(code: u8) -> LaneType {
+    match code % 3 {
+        0 => LaneType::F32x8,
+        1 => LaneType::F64x4,
+        _ => LaneType::I32x8,
+    }
+}
+
+/// Output region helper for whole-word scalar results.
+fn words_out(base: u64, count: u64, dt: DataType) -> OutputRegion {
+    OutputRegion {
+        addr: base + OUT_OFF,
+        stride: 8,
+        count,
+        dt,
+    }
+}
+
+fn int_loop(
+    base: u64,
+    dt: DataType,
+    family: u8,
+    unroll: u8,
+    iters: u32,
+    rng: &mut DetRng,
+) -> Piece {
+    let mut b = ProgramBuilder::new();
+    let mask = dt.mask() as u64;
+    // Seed operand registers r1..r4. Numeric integers carry small values
+    // (counters, sizes, indices — what cloud software actually computes
+    // with); a bitflip above such a value's magnitude is a >100% error,
+    // the Figure 4(e) regime.
+    let mut mem_init = Vec::new();
+    for r in 1..=4u8 {
+        let mut v = match dt {
+            DataType::Bit => r as u64 & 1,
+            DataType::I16 | DataType::I32 | DataType::U32 => (rng.below(4000) + 1) & mask,
+            _ => rng.next_u64() & mask,
+        };
+        if v == 0 {
+            v = 1;
+        }
+        b.mov_imm(r, v);
+    }
+    b.mov_imm(0, base + OUT_OFF);
+    // Small-value workloads stay small: counters and sizes are re-bounded
+    // after each round, like real index arithmetic.
+    let small = matches!(dt, DataType::I16 | DataType::I32 | DataType::U32);
+    if small {
+        b.mov_imm(7, 0xfff);
+    }
+    let (op1, op2) = match family % 4 {
+        0 => (IntOpKind::Add, IntOpKind::Sub),
+        1 => (IntOpKind::Mul, IntOpKind::Div),
+        2 => (IntOpKind::Xor, IntOpKind::Or),
+        _ => (IntOpKind::Shl, IntOpKind::Shr),
+    };
+    b.loop_start(iters);
+    for _ in 0..unroll.max(1) {
+        b.int_op(op1, dt, 5, 1, 2);
+        b.int_op(op2, dt, 6, 5, 3);
+        b.int_op(IntOpKind::Add, dt, 1, 1, 6);
+        b.int_op(IntOpKind::Xor, dt, 2, 2, 5);
+        if small {
+            b.int_op(IntOpKind::And, dt, 1, 1, 7);
+            b.int_op(IntOpKind::And, dt, 2, 2, 7);
+        }
+    }
+    b.loop_end();
+    b.store(1, 0, 0);
+    b.store(2, 0, 8);
+    b.store(5, 0, 16);
+    b.store(6, 0, 24);
+    mem_init.push((base + OUT_OFF, 0));
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![words_out(base, 4, dt)],
+        invariants: vec![],
+    }
+}
+
+fn bigint(base: u64, limbs: u8, iters: u32, rng: &mut DetRng) -> Piece {
+    let limbs = limbs.max(2) as u64;
+    let mut b = ProgramBuilder::new();
+    let mut mem_init = Vec::new();
+    // Input limbs at base, one per word.
+    for i in 0..limbs {
+        mem_init.push((base + IN_OFF + i * 8, rng.next_u64() & 0xffff_ffff));
+    }
+    b.mov_imm(0, base + IN_OFF); // input ptr
+    b.mov_imm(1, base + OUT_OFF); // output ptr
+    b.mov_imm(2, (rng.next_u64() & 0xffff) | 1); // multiplier, odd
+    b.mov_imm(3, 16); // shift amount for "carry"
+    b.mov_imm(4, 0); // carry register
+    b.loop_start(iters);
+    for i in 0..limbs {
+        b.load(5, 0, i * 8);
+        b.int_op(IntOpKind::Mul, DataType::U32, 6, 5, 2); // low product
+        b.int_op(IntOpKind::Add, DataType::U32, 6, 6, 4); // + carry
+        b.int_op(IntOpKind::Shr, DataType::U32, 4, 6, 3); // next "carry"
+        b.store(6, 1, i * 8);
+    }
+    b.loop_end();
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![words_out(base, limbs, DataType::U32)],
+        invariants: vec![],
+    }
+}
+
+fn string_scan(base: u64, words: u8, iters: u32, rng: &mut DetRng) -> Piece {
+    let words = words.max(2) as u64;
+    let mut b = ProgramBuilder::new();
+    let mut mem_init = Vec::new();
+    for i in 0..words {
+        mem_init.push((base + IN_OFF + i * 8, rng.next_u64()));
+    }
+    b.mov_imm(0, base + IN_OFF);
+    b.mov_imm(1, base + OUT_OFF);
+    b.mov_imm(2, 8); // byte shift
+    b.mov_imm(3, 13); // transform constant
+    b.mov_imm(4, 0); // accumulator
+    b.mov_imm(8, 0); // 16-bit rolling checksum (Fletcher-style)
+    b.loop_start(iters);
+    for i in 0..words {
+        b.load(5, 0, i * 8);
+        // Walk the bytes of the word: extract, transform, accumulate.
+        for _ in 0..4 {
+            b.int_op(IntOpKind::And, DataType::Byte, 6, 5, 5); // low byte view
+            b.int_op(IntOpKind::Add, DataType::Byte, 6, 6, 3); // transform
+            b.int_op(IntOpKind::Xor, DataType::Byte, 4, 4, 6); // accumulate
+            b.int_op(IntOpKind::Add, DataType::Bin16, 8, 8, 6); // 16-bit checksum
+            b.int_op(IntOpKind::Shr, DataType::Bin64, 5, 5, 2); // next byte
+        }
+    }
+    b.loop_end();
+    b.store(4, 1, 0);
+    b.store(8, 1, 8);
+    mem_init.push((base + OUT_OFF, 0));
+    mem_init.push((base + OUT_OFF + 8, 0));
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![
+            words_out(base, 1, DataType::Byte),
+            OutputRegion {
+                addr: base + OUT_OFF + 8,
+                stride: 8,
+                count: 1,
+                dt: DataType::Bin16,
+            },
+        ],
+        invariants: vec![],
+    }
+}
+
+fn crc_loop(base: u64, words: u8, iters: u32, rng: &mut DetRng) -> Piece {
+    let words = words.max(2) as u64;
+    let mut b = ProgramBuilder::new();
+    let mut mem_init = Vec::new();
+    for i in 0..words {
+        mem_init.push((base + IN_OFF + i * 8, rng.next_u64()));
+    }
+    b.mov_imm(0, base + IN_OFF);
+    b.mov_imm(1, base + OUT_OFF);
+    b.loop_start(iters);
+    b.mov_imm(2, 0xffff_ffff); // crc init
+    for i in 0..words {
+        b.load(3, 0, i * 8);
+        b.crc32_step(2, 2, 3);
+    }
+    b.store(2, 1, 0);
+    b.loop_end();
+    mem_init.push((base + OUT_OFF, 0));
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![words_out(base, 1, DataType::Bin32)],
+        invariants: vec![],
+    }
+}
+
+fn hash_loop(base: u64, words: u8, iters: u32, rng: &mut DetRng) -> Piece {
+    let words = words.max(2) as u64;
+    let mut b = ProgramBuilder::new();
+    let mut mem_init = Vec::new();
+    for i in 0..words {
+        mem_init.push((base + IN_OFF + i * 8, rng.next_u64()));
+    }
+    b.mov_imm(0, base + IN_OFF);
+    b.mov_imm(1, base + OUT_OFF);
+    b.loop_start(iters);
+    b.mov_imm(2, 0x9e37_79b9);
+    for i in 0..words {
+        b.load(3, 0, i * 8);
+        b.hash_mix(2, 2, 3);
+    }
+    b.store(2, 1, 0);
+    b.loop_end();
+    mem_init.push((base + OUT_OFF, 0));
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![words_out(base, 1, DataType::Bin64)],
+        invariants: vec![],
+    }
+}
+
+fn float_loop(
+    base: u64,
+    f32_prec: bool,
+    family: u8,
+    unroll: u8,
+    iters: u32,
+    rng: &mut DetRng,
+) -> Piece {
+    let prec = if f32_prec {
+        Precision::F32
+    } else {
+        Precision::F64
+    };
+    let dt = prec.datatype();
+    let mut b = ProgramBuilder::new();
+    b.fmov_imm(1, rng.range_f64(0.5, 2.0));
+    b.fmov_imm(2, rng.range_f64(0.9, 1.1));
+    b.fmov_imm(3, rng.range_f64(0.5, 1.5));
+    b.fmov_imm(4, rng.range_f64(-0.1, 0.1));
+    b.mov_imm(0, base + OUT_OFF);
+    b.loop_start(iters);
+    for _ in 0..unroll.max(1) {
+        match family % 4 {
+            0 => {
+                b.fop(FOpKind::Add, prec, 5, 1, 2);
+                b.fop(FOpKind::Sub, prec, 1, 5, 4);
+            }
+            1 => {
+                b.fop(FOpKind::Mul, prec, 5, 1, 2);
+                b.fop(FOpKind::Mul, prec, 1, 5, 3);
+                b.fop(FOpKind::Mul, prec, 1, 1, 2); // keep magnitude near 1
+            }
+            2 => {
+                b.fop(FOpKind::Div, prec, 5, 1, 2);
+                b.fop(FOpKind::Div, prec, 1, 5, 3);
+                b.fop(FOpKind::Mul, prec, 1, 1, 3);
+            }
+            _ => {
+                b.ffma(prec, 5, 1, 2, 4);
+                b.ffma(prec, 1, 5, 3, 4);
+            }
+        }
+    }
+    b.loop_end();
+    b.store_f(1, 0, 0);
+    b.store_f(5, 0, 8);
+    Piece {
+        program: b.build(),
+        mem_init: vec![(base + OUT_OFF, 0), (base + OUT_OFF + 8, 0)],
+        outputs: vec![words_out(base, 2, dt)],
+        invariants: vec![],
+    }
+}
+
+fn atan_loop(base: u64, f32_prec: bool, iters: u32, rng: &mut DetRng) -> Piece {
+    let prec = if f32_prec {
+        Precision::F32
+    } else {
+        Precision::F64
+    };
+    let dt = prec.datatype();
+    let mut b = ProgramBuilder::new();
+    b.fmov_imm(0, rng.range_f64(0.1, 1.9));
+    b.fmov_imm(2, 0.7);
+    b.mov_imm(0, base + OUT_OFF);
+    b.loop_start(iters);
+    b.fatan(prec, 1, 0);
+    b.fop(FOpKind::Add, prec, 0, 1, 2);
+    b.store_f(1, 0, 0);
+    b.loop_end();
+    b.store_f(0, 0, 8);
+    Piece {
+        program: b.build(),
+        mem_init: vec![(base + OUT_OFF, 0), (base + OUT_OFF + 8, 0)],
+        outputs: vec![words_out(base, 2, dt)],
+        invariants: vec![],
+    }
+}
+
+fn x87_loop(base: u64, atan: bool, iters: u32, rng: &mut DetRng) -> Piece {
+    let mut b = ProgramBuilder::new();
+    b.fmov_imm(0, rng.range_f64(0.1, 1.5));
+    b.fmov_imm(1, 1.0009765625); // exactly representable multiplier
+    b.push(Inst::XFromF { dst: 0, src: 0 });
+    b.push(Inst::XFromF { dst: 2, src: 1 });
+    b.mov_imm(0, base + OUT_OFF);
+    b.loop_start(iters);
+    if atan {
+        b.xatan(1, 0);
+        b.xop(XOpKind::Add, 0, 1, 2);
+    } else {
+        b.xop(XOpKind::Mul, 1, 0, 2);
+        b.xop(XOpKind::Div, 0, 1, 2);
+        b.xop(XOpKind::Add, 0, 0, 1);
+        // Halve to keep the magnitude bounded.
+        b.xop(XOpKind::Sub, 0, 0, 1);
+    }
+    b.store_x(1, 0, 0);
+    b.loop_end();
+    b.store_x(0, 0, 16);
+    Piece {
+        program: b.build(),
+        mem_init: vec![
+            (base + OUT_OFF, 0),
+            (base + OUT_OFF + 8, 0),
+            (base + OUT_OFF + 16, 0),
+            (base + OUT_OFF + 24, 0),
+        ],
+        outputs: vec![OutputRegion {
+            addr: base + OUT_OFF,
+            stride: 16,
+            count: 2,
+            dt: DataType::F64X,
+        }],
+        invariants: vec![],
+    }
+}
+
+/// Initializes a 256-bit block of lane data in memory.
+fn init_vec_block(mem_init: &mut Vec<(u64, u64)>, addr: u64, lane: LaneType, rng: &mut DetRng) {
+    for w in 0..4u64 {
+        let word = match lane {
+            LaneType::F32x8 => {
+                let lo = (rng.range_f64(0.5, 1.5) as f32).to_bits() as u64;
+                let hi = (rng.range_f64(0.5, 1.5) as f32).to_bits() as u64;
+                lo | (hi << 32)
+            }
+            LaneType::F64x4 => rng.range_f64(0.5, 1.5).to_bits(),
+            LaneType::I32x8 => rng.next_u64() & 0x0000_0fff_0000_0fff,
+        };
+        mem_init.push((addr + w * 8, word));
+    }
+}
+
+/// Packed vector output region (lane elements inside stored words).
+fn vec_out(addr: u64, blocks: u64, lane: LaneType) -> OutputRegion {
+    let dt = lane.datatype();
+    let stride = if dt.bits() == 32 { 4 } else { 8 };
+    OutputRegion {
+        addr,
+        stride,
+        count: blocks * lane.lanes() as u64,
+        dt,
+    }
+}
+
+fn mat_kernel(base: u64, lane_code: u8, rows: u8, iters: u32, rng: &mut DetRng) -> Piece {
+    let lane = lane_of(lane_code);
+    let rows = rows.max(1) as u64;
+    let mut b = ProgramBuilder::new();
+    let mut mem_init = Vec::new();
+    let a_base = base + IN_OFF;
+    let b_base = base + IN_OFF + rows * 32;
+    let c_base = base + OUT_OFF;
+    for r in 0..rows {
+        init_vec_block(&mut mem_init, a_base + r * 32, lane, rng);
+        init_vec_block(&mut mem_init, b_base + r * 32, lane, rng);
+        for w in 0..4 {
+            mem_init.push((c_base + r * 32 + w * 8, 0));
+        }
+    }
+    b.mov_imm(0, a_base);
+    b.mov_imm(1, b_base);
+    b.mov_imm(2, c_base);
+    b.loop_start(iters);
+    for r in 0..rows {
+        b.load_v(0, 0, r * 32);
+        b.load_v(1, 1, r * 32);
+        b.load_v(2, 2, r * 32);
+        b.vop(VOpKind::Fma, lane, 2, 0, 1, 2);
+        b.store_v(2, 2, r * 32);
+    }
+    b.loop_end();
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![vec_out(c_base, rows, lane)],
+        invariants: vec![],
+    }
+}
+
+fn axpy(base: u64, lane_code: u8, blocks: u8, iters: u32, rng: &mut DetRng) -> Piece {
+    let lane = lane_of(lane_code);
+    let blocks = blocks.max(1) as u64;
+    let mut b = ProgramBuilder::new();
+    let mut mem_init = Vec::new();
+    let x_base = base + IN_OFF;
+    let a_base = base + IN_OFF + blocks * 32;
+    let y_base = base + OUT_OFF;
+    init_vec_block(&mut mem_init, a_base, lane, rng);
+    for blk in 0..blocks {
+        init_vec_block(&mut mem_init, x_base + blk * 32, lane, rng);
+        for w in 0..4 {
+            mem_init.push((y_base + blk * 32 + w * 8, 0));
+        }
+    }
+    b.mov_imm(0, x_base);
+    b.mov_imm(1, a_base);
+    b.mov_imm(2, y_base);
+    b.load_v(1, 1, 0); // scale vector
+    b.loop_start(iters);
+    for blk in 0..blocks {
+        b.load_v(0, 0, blk * 32);
+        b.load_v(2, 2, blk * 32);
+        b.vop(VOpKind::Fma, lane, 2, 0, 1, 2);
+        b.store_v(2, 2, blk * 32);
+    }
+    b.loop_end();
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![vec_out(y_base, blocks, lane)],
+        invariants: vec![],
+    }
+}
+
+fn vec_parity(base: u64, blocks: u8, iters: u32, rng: &mut DetRng) -> Piece {
+    let lane = LaneType::I32x8;
+    let blocks = blocks.max(2) as u64;
+    let mut b = ProgramBuilder::new();
+    let mut mem_init = Vec::new();
+    let data_base = base + IN_OFF;
+    let parity_base = base + OUT_OFF;
+    for blk in 0..blocks {
+        init_vec_block(&mut mem_init, data_base + blk * 32, lane, rng);
+    }
+    for w in 0..4 {
+        mem_init.push((parity_base + w * 8, 0));
+    }
+    b.mov_imm(0, data_base);
+    b.mov_imm(1, parity_base);
+    b.loop_start(iters);
+    b.load_v(0, 0, 0);
+    for blk in 1..blocks {
+        b.load_v(1, 0, blk * 32);
+        b.vop(VOpKind::Xor, lane, 0, 0, 1, 0);
+    }
+    b.store_v(0, 1, 0);
+    b.loop_end();
+    Piece {
+        program: b.build(),
+        mem_init,
+        outputs: vec![vec_out(parity_base, 1, lane)],
+        invariants: vec![],
+    }
+}
+
+fn lock_counter(base: u64, threads: usize, rounds: u8, iters: u32) -> Vec<Piece> {
+    let lock = base;
+    // The counter lives on its own cache line: the lock word is refreshed
+    // by the atomic CAS, but plain loads of the counter can go stale when
+    // an invalidation is dropped — the lost-update mechanism.
+    let counter = base + 64;
+    let rounds = rounds.max(1);
+    let mut pieces = Vec::new();
+    for t in 0..threads {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, lock);
+        b.mov_imm(1, counter);
+        b.mov_imm(2, 1);
+        b.loop_start(iters * rounds as u32);
+        b.lock_acquire(0);
+        b.load(3, 1, 0);
+        b.int_op(IntOpKind::Add, DataType::Bin64, 3, 3, 2);
+        b.store(3, 1, 0);
+        b.lock_release(0);
+        b.loop_end();
+        let mem_init = if t == 0 {
+            vec![(lock, 0), (counter, 0)]
+        } else {
+            vec![]
+        };
+        let invariants = if t == 0 {
+            vec![Invariant::Equals {
+                addr: counter,
+                value: threads as u64 * iters as u64 * rounds as u64,
+            }]
+        } else {
+            vec![]
+        };
+        pieces.push(Piece {
+            program: b.build(),
+            mem_init,
+            outputs: vec![],
+            invariants,
+        });
+    }
+    pieces
+}
+
+fn producer_consumer(base: u64, words: u8, iters: u32, rng: &mut DetRng) -> Vec<Piece> {
+    let words = words.clamp(2, 16) as u64;
+    let lock = base;
+    // One payload word per cache line (like fields of a large shared
+    // struct): a dropped invalidation then leaves *part* of the payload
+    // stale while the checksum is fresh — exactly the CNST1 case study,
+    // where "the daemon thread sometimes got inconsistent data, incurring
+    // checksum mismatches". Co-located words would stay self-consistent.
+    let data = base + 64;
+    let line = 64u64;
+    let crc_slot = data + words * line;
+    let mismatch_out = base + OUT_OFF;
+    // Initial buffer contents and their checksum.
+    let init_words: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+    let mut crc = 0xffff_ffffu32;
+    for &w in &init_words {
+        crc = crc32_step(crc, w);
+    }
+    let mut mem_init = vec![(lock, 0), (crc_slot, crc as u64), (mismatch_out, 0)];
+    for (i, &w) in init_words.iter().enumerate() {
+        mem_init.push((data + i as u64 * line, w));
+    }
+
+    // Producer: mutate the payload under the lock and refresh its CRC.
+    let mut p = ProgramBuilder::new();
+    p.mov_imm(0, lock);
+    p.mov_imm(1, data);
+    p.mov_imm(2, 0x9e37_79b9_7f4a_7c15); // mutation constant
+    p.loop_start(iters);
+    p.lock_acquire(0);
+    p.mov_imm(4, 0xffff_ffff);
+    for i in 0..words {
+        p.load(3, 1, i * line);
+        p.int_op(IntOpKind::Add, DataType::Bin64, 3, 3, 2);
+        p.store(3, 1, i * line);
+        p.crc32_step(4, 4, 3);
+    }
+    p.store(4, 1, words * line);
+    p.lock_release(0);
+    p.loop_end();
+
+    // Consumer: re-derive the CRC under the lock and count mismatches.
+    let mut c = ProgramBuilder::new();
+    c.mov_imm(0, lock);
+    c.mov_imm(1, data);
+    c.mov_imm(5, 0); // mismatch accumulator
+    c.mov_imm(7, mismatch_out);
+    c.loop_start(iters);
+    c.lock_acquire(0);
+    c.mov_imm(4, 0xffff_ffff);
+    for i in 0..words {
+        c.load(3, 1, i * line);
+        c.crc32_step(4, 4, 3);
+    }
+    c.load(6, 1, words * line); // stored checksum
+    c.lock_release(0);
+    c.cmp_ne(6, 4, 6);
+    c.int_op(IntOpKind::Add, DataType::Bin64, 5, 5, 6);
+    c.loop_end();
+    c.store(5, 7, 0);
+
+    vec![
+        Piece {
+            program: p.build(),
+            mem_init,
+            outputs: vec![],
+            invariants: vec![],
+        },
+        Piece {
+            program: c.build(),
+            mem_init: vec![],
+            outputs: vec![],
+            invariants: vec![Invariant::Zero { addr: mismatch_out }],
+        },
+    ]
+}
+
+fn tx_counter(base: u64, threads: usize, rounds: u8, iters: u32) -> Vec<Piece> {
+    let counter = base;
+    let rounds = rounds.max(1);
+    let mut pieces = Vec::new();
+    let success_addrs: Vec<u64> = (0..threads)
+        .map(|t| base + OUT_OFF + t as u64 * 8)
+        .collect();
+    for (t, &succ_addr) in success_addrs.iter().enumerate() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, counter);
+        b.mov_imm(1, 1);
+        b.mov_imm(4, 0); // success accumulator
+        b.mov_imm(5, succ_addr);
+        b.loop_start(iters * rounds as u32);
+        b.tx_begin();
+        b.load(2, 0, 0);
+        b.int_op(IntOpKind::Add, DataType::Bin64, 2, 2, 1);
+        b.store(2, 0, 0);
+        b.tx_commit(3);
+        b.int_op(IntOpKind::Add, DataType::Bin64, 4, 4, 3);
+        b.loop_end();
+        b.store(4, 5, 0);
+        let mut mem_init = vec![(succ_addr, 0)];
+        let mut invariants = vec![];
+        if t == 0 {
+            mem_init.push((counter, 0));
+            invariants.push(Invariant::CounterMatchesSuccesses {
+                counter,
+                success_addrs: success_addrs.clone(),
+            });
+        }
+        pieces.push(Piece {
+            program: b.build(),
+            mem_init,
+            outputs: vec![],
+            invariants,
+        });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::WorkloadKind;
+    use sdc_model::{DetRng as R, Feature, TestcaseId};
+    use softcore::{Machine, NoFaults};
+
+    fn tc(spec: WorkloadSpec, threads: u8) -> Testcase {
+        Testcase {
+            id: TestcaseId(1),
+            name: "t".into(),
+            feature: Feature::Alu,
+            kind: WorkloadKind::InstLoop,
+            threads,
+            spec,
+        }
+    }
+
+    /// Runs a built testcase on a fresh machine, returns the machine.
+    fn run_built(built: &BuiltTestcase, seed: u64) -> Machine {
+        let cores = built.programs.len();
+        let mut m = Machine::new(cores, built.mem_bytes);
+        for (addr, val) in &built.mem_init {
+            m.mem.raw_write_u64(*addr, *val);
+        }
+        for (c, p) in built.programs.iter().enumerate() {
+            if let Some(p) = p {
+                m.load(c, p.clone());
+            }
+        }
+        let mut rng = R::new(seed);
+        let out = m.run(&mut NoFaults, &mut rng, 50_000_000);
+        assert!(out.completed, "workload must halt");
+        m
+    }
+
+    #[test]
+    fn all_computation_specs_build_and_run() {
+        let specs = vec![
+            WorkloadSpec::IntLoop {
+                dt: DataType::I32,
+                family: 0,
+                unroll: 2,
+            },
+            WorkloadSpec::IntLoop {
+                dt: DataType::Bit,
+                family: 2,
+                unroll: 1,
+            },
+            WorkloadSpec::BigInt { limbs: 4 },
+            WorkloadSpec::StringScan { words: 3 },
+            WorkloadSpec::Crc { words: 4 },
+            WorkloadSpec::Hash { words: 4 },
+            WorkloadSpec::FloatLoop {
+                f32_prec: true,
+                family: 1,
+                unroll: 2,
+            },
+            WorkloadSpec::FloatLoop {
+                f32_prec: false,
+                family: 3,
+                unroll: 1,
+            },
+            WorkloadSpec::AtanLoop { f32_prec: false },
+            WorkloadSpec::X87Loop { atan: true },
+            WorkloadSpec::MatKernel { lane: 0, rows: 2 },
+            WorkloadSpec::Axpy { lane: 1, blocks: 2 },
+            WorkloadSpec::VecParity { blocks: 3 },
+        ];
+        for spec in specs {
+            let t = tc(spec.clone(), 1);
+            let built = build(&t, 2, 3, 42);
+            assert_eq!(built.programs.len(), 2);
+            assert!(built.programs.iter().all(|p| p.is_some()));
+            assert!(!built.outputs.is_empty(), "{spec:?} needs outputs");
+            assert!(matches!(built.check, CheckKind::GoldenCompare));
+            let _ = run_built(&built, 7);
+        }
+    }
+
+    #[test]
+    fn golden_runs_are_reproducible() {
+        let t = tc(WorkloadSpec::Crc { words: 4 }, 1);
+        let built = build(&t, 1, 5, 42);
+        let m1 = run_built(&built, 1);
+        let m2 = run_built(&built, 2); // different interleave seed
+        for out in &built.outputs {
+            for i in 0..out.count {
+                let a = m1.mem.raw_read_u64((out.addr + i * out.stride) & !7);
+                let b = m2.mem.raw_read_u64((out.addr + i * out.stride) & !7);
+                assert_eq!(a, b, "single-threaded outputs are deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn lock_counter_invariant_holds_on_healthy_silicon() {
+        let t = tc(
+            WorkloadSpec::LockCounter {
+                rounds: 3,
+                dilution: 0,
+            },
+            2,
+        );
+        let built = build(&t, 4, 4, 42);
+        // 4 cores / 2 threads = 2 groups, every core loaded.
+        assert!(built.programs.iter().all(|p| p.is_some()));
+        let m = run_built(&built, 3);
+        let CheckKind::Invariants(invs) = &built.check else {
+            panic!("expected invariants")
+        };
+        let eq_invs: Vec<_> = invs
+            .iter()
+            .filter_map(|i| match i {
+                Invariant::Equals { addr, value } => Some((*addr, *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(eq_invs.len(), 2, "one per group");
+        for (addr, value) in eq_invs {
+            assert_eq!(m.mem.raw_read_u64(addr), value);
+        }
+    }
+
+    #[test]
+    fn producer_consumer_sees_no_mismatches_when_healthy() {
+        let t = tc(
+            WorkloadSpec::ProducerConsumer {
+                words: 4,
+                dilution: 0,
+            },
+            2,
+        );
+        let built = build(&t, 2, 6, 42);
+        let m = run_built(&built, 4);
+        let CheckKind::Invariants(invs) = &built.check else {
+            panic!("expected invariants")
+        };
+        for inv in invs {
+            if let Invariant::Zero { addr } = inv {
+                assert_eq!(m.mem.raw_read_u64(*addr), 0, "no checksum mismatches");
+            }
+        }
+    }
+
+    #[test]
+    fn tx_counter_matches_successes_when_healthy() {
+        let t = tc(
+            WorkloadSpec::TxCounter {
+                rounds: 2,
+                dilution: 0,
+            },
+            2,
+        );
+        let built = build(&t, 2, 5, 42);
+        let m = run_built(&built, 5);
+        let CheckKind::Invariants(invs) = &built.check else {
+            panic!("expected invariants")
+        };
+        let mut checked = false;
+        for inv in invs {
+            if let Invariant::CounterMatchesSuccesses {
+                counter,
+                success_addrs,
+            } = inv
+            {
+                let total: u64 = success_addrs.iter().map(|a| m.mem.raw_read_u64(*a)).sum();
+                assert_eq!(m.mem.raw_read_u64(*counter), total);
+                assert!(total > 0, "some transactions commit");
+                checked = true;
+            }
+        }
+        assert!(checked);
+    }
+
+    #[test]
+    fn multithread_leftover_cores_idle() {
+        let t = tc(
+            WorkloadSpec::LockCounter {
+                rounds: 1,
+                dilution: 0,
+            },
+            2,
+        );
+        let built = build(&t, 5, 2, 42);
+        // 5 cores / 2 threads = 2 groups → cores 0-3 loaded, core 4 idle.
+        assert!(built.programs[3].is_some());
+        assert!(built.programs[4].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer cores")]
+    fn rejects_machine_smaller_than_threads() {
+        let t = tc(
+            WorkloadSpec::LockCounter {
+                rounds: 1,
+                dilution: 0,
+            },
+            4,
+        );
+        let _ = build(&t, 2, 1, 42);
+    }
+
+    #[test]
+    fn instances_use_disjoint_regions() {
+        let t = tc(WorkloadSpec::Crc { words: 4 }, 1);
+        let built = build(&t, 3, 2, 42);
+        let addrs: Vec<u64> = built.outputs.iter().map(|o| o.addr).collect();
+        let set: std::collections::HashSet<_> = addrs.iter().collect();
+        assert_eq!(set.len(), 3, "per-core output regions are distinct");
+        assert!(built.mem_bytes >= addrs.iter().max().unwrap() + 64);
+    }
+}

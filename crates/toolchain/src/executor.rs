@@ -1,0 +1,581 @@
+//! The two-mode testcase executor.
+//!
+//! **Accelerated mode** ([`Executor::run`]) is how all long-horizon
+//! studies run: one unit of the workload executes in the VM under a
+//! [`Profiler`], yielding per-core retire-site rates, per-core power and
+//! coherence/transaction event rates; the executor then advances a
+//! discrete-event model in time chunks — thermal state first, then
+//! Poisson-sampled defect firings at the current temperatures. This is
+//! the only practical way to observe a 0.01-errors-per-minute defect
+//! (Observation 9's low end) over simulated weeks of testing.
+//!
+//! **Execute mode** ([`Executor::run_vm`]) runs the whole workload in the
+//! VM against both a golden machine and a fault-injected machine and
+//! derives SDC records from output differences and invariant violations —
+//! the ground-truth path used to validate the accelerated model.
+
+use crate::builders;
+use crate::profile::Profiler;
+use crate::testcase::{CheckKind, Invariant, OutputRegion, Testcase};
+use rand::RngCore as _;
+use sdc_model::{CoreId, DataType, DetRng, Duration, SdcRecord, SdcType, SettingId, VirtualClock};
+use silicon::defect::DefectKind;
+use silicon::{Injector, Processor};
+use softcore::{InstClass, Machine, NoFaults};
+use thermal::{ThermalConfig, ThermalModel};
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Simulated core clock in Hz (virtual time = cycles / clock).
+    pub clock_hz: f64,
+    /// Loop iterations of the profiling unit run.
+    pub unit_iters: u32,
+    /// Discrete-event time chunk.
+    pub chunk: Duration,
+    /// Cap on materialized SDC records per testcase run (the error *count*
+    /// is exact; only record materialization is capped).
+    pub max_records: usize,
+    /// Preheat all cores to this temperature before each run (burn-in).
+    pub preheat_c: Option<f64>,
+    /// Hold the whole package at this temperature for the entire run —
+    /// the paper's controlled-temperature methodology (§5: stress-tool
+    /// preheating to a desired temperature while measuring occurrence
+    /// frequency). Overrides thermal dynamics.
+    pub hold_temp_c: Option<f64>,
+    /// Keep non-tested cores busy with stress load during the run
+    /// (Farron's whole-package heating; also the paper's §5 method to
+    /// separate utilization from temperature).
+    pub stress_idle_cores: bool,
+    /// Step budget for VM runs (guards against spin-heavy interleavings).
+    pub max_unit_steps: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            clock_hz: 1e7,
+            unit_iters: 4,
+            chunk: Duration::from_secs(1),
+            max_records: 2048,
+            preheat_c: None,
+            hold_temp_c: None,
+            stress_idle_cores: false,
+            max_unit_steps: 40_000_000,
+        }
+    }
+}
+
+/// Result of one testcase run on one processor.
+#[derive(Debug, Clone)]
+pub struct TestcaseRun {
+    /// The testcase executed.
+    pub testcase: sdc_model::TestcaseId,
+    /// Physical cores the workload ran on.
+    pub cores: Vec<u16>,
+    /// Allotted virtual duration.
+    pub duration: Duration,
+    /// Materialized SDC records (capped at `max_records`).
+    pub records: Vec<SdcRecord>,
+    /// Exact number of SDC events.
+    pub error_count: u64,
+    /// Exact SDC events per entry of `cores` (same indexing).
+    pub errors_per_core: Vec<u64>,
+    /// Mean of per-chunk hottest-tested-core temperatures.
+    pub mean_temp_c: f64,
+    /// Hottest temperature any tested core reached.
+    pub max_temp_c: f64,
+}
+
+impl TestcaseRun {
+    /// True if the run detected at least one SDC.
+    pub fn detected(&self) -> bool {
+        self.error_count > 0
+    }
+
+    /// Errors per virtual minute — the paper's occurrence frequency.
+    pub fn occurrence_frequency(&self) -> f64 {
+        let mins = self.duration.as_mins_f64();
+        if mins == 0.0 {
+            0.0
+        } else {
+            self.error_count as f64 / mins
+        }
+    }
+}
+
+/// Per-(class, datatype) site rates for one machine core.
+#[derive(Debug, Clone, Default)]
+struct CoreProfile {
+    /// (class, dt) → retired results per second.
+    site_rates: Vec<((InstClass, DataType), f64)>,
+    /// Average energy per cycle (thermal power proxy).
+    power: f64,
+    /// Cache invalidations received per second.
+    invalidations_per_sec: f64,
+    /// Conflicted transactional commits per second.
+    tx_conflicts_per_sec: f64,
+}
+
+/// Executes testcases against one (possibly defective) processor.
+#[derive(Debug)]
+pub struct Executor<'p> {
+    /// The processor under test.
+    pub processor: &'p Processor,
+    /// Package thermal state (persists across runs: remaining heat).
+    pub thermal: ThermalModel,
+    /// Virtual wall clock (persists across runs).
+    pub clock: VirtualClock,
+    cfg: ExecConfig,
+}
+
+impl<'p> Executor<'p> {
+    /// A fresh executor for `processor` at idle temperature.
+    pub fn new(processor: &'p Processor, cfg: ExecConfig) -> Self {
+        Executor {
+            processor,
+            thermal: ThermalModel::new(processor.physical_cores as usize, ThermalConfig::default()),
+            clock: VirtualClock::new(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// Replaces the configuration (e.g. to toggle burn-in between rounds).
+    pub fn set_config(&mut self, cfg: ExecConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Profiles one unit of `tc` on the VM. Returns per-machine-core
+    /// profiles, the unit wall time in seconds, and the profiler (whose
+    /// bit samples feed record materialization).
+    fn profile_unit(
+        &self,
+        tc: &Testcase,
+        cores: &[u16],
+        rng: &mut DetRng,
+    ) -> (Vec<CoreProfile>, f64, Profiler) {
+        let built = builders::build(tc, cores.len(), self.cfg.unit_iters, rng.next_u64());
+        let mut machine = Machine::new(cores.len(), built.mem_bytes);
+        for &(addr, val) in &built.mem_init {
+            machine.mem.raw_write_u64(addr, val);
+        }
+        let mut loaded = 0usize;
+        for (c, p) in built.programs.iter().enumerate() {
+            if let Some(p) = p {
+                machine.load(c, p.clone());
+                loaded += 1;
+            }
+        }
+        let mut profiler = Profiler::new(rng.fork(0x9821));
+        let mut interleave = rng.fork(0x77aa);
+        let out = machine.run(&mut profiler, &mut interleave, self.cfg.max_unit_steps);
+        assert!(
+            out.completed,
+            "unit run of {} exceeded the step budget",
+            tc.name
+        );
+        let unit_secs = (out.cycles.max(1)) as f64 / self.cfg.clock_hz;
+        let mut profiles = vec![CoreProfile::default(); cores.len()];
+        for (&(core, class, dt), &count) in profiler.counts() {
+            profiles[core]
+                .site_rates
+                .push(((class, dt), count as f64 / unit_secs));
+        }
+        for (c, profile) in profiles.iter_mut().enumerate() {
+            profile.site_rates.sort_by_key(|a| a.0);
+            profile.power = match machine.cycles[c] {
+                0 => 0.0,
+                cycles => machine.energy[c] / cycles as f64,
+            };
+            let (commits, aborts) = machine.core(c).tx_stats();
+            // Conflicted-commit opportunities: observed aborts, floored at
+            // a small share of commits (conflicts the golden interleaving
+            // happened to miss).
+            let conflicts = (aborts as f64).max(commits as f64 * 0.05);
+            profile.tx_conflicts_per_sec = conflicts / unit_secs;
+            profile.invalidations_per_sec = if loaded > 0 {
+                machine.mem.stats.invalidations as f64 / loaded as f64 / unit_secs
+            } else {
+                0.0
+            };
+        }
+        (profiles, unit_secs, profiler)
+    }
+
+    /// Accelerated run of `tc` on physical `cores` for `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty, names a core beyond the package, or is
+    /// smaller than the testcase's thread count.
+    pub fn run(
+        &mut self,
+        tc: &Testcase,
+        cores: &[u16],
+        duration: Duration,
+        rng: &mut DetRng,
+    ) -> TestcaseRun {
+        assert!(!cores.is_empty(), "no cores selected");
+        assert!(
+            cores.iter().all(|&c| c < self.processor.physical_cores),
+            "core out of range"
+        );
+        let (profiles, _unit_secs, sampler_samples) = self.profile_unit(tc, cores, rng);
+
+        if let Some(t) = self.cfg.preheat_c {
+            self.thermal.preheat(t);
+        }
+        // Set package power: tested cores burn the workload's power, the
+        // rest idle or run stress load.
+        let tested: std::collections::HashSet<u16> = cores.iter().copied().collect();
+        for pc in 0..self.processor.physical_cores {
+            let power = if let Some(idx) = cores.iter().position(|&c| c == pc) {
+                profiles[idx].power
+            } else if self.cfg.stress_idle_cores {
+                1.2
+            } else {
+                0.0
+            };
+            self.thermal.set_power(pc as usize, power);
+        }
+
+        let start = self.clock.now();
+        let mut elapsed = Duration::ZERO;
+        let mut records = Vec::new();
+        let mut error_count = 0u64;
+        let mut errors_per_core = vec![0u64; cores.len()];
+        let mut temp_sum = 0.0;
+        let mut temp_chunks = 0u64;
+        let mut max_temp = f64::NEG_INFINITY;
+
+        while elapsed < duration {
+            let dt = std::cmp::min(self.cfg.chunk, duration - elapsed);
+            if let Some(hold) = self.cfg.hold_temp_c {
+                self.thermal.preheat(hold);
+            } else {
+                self.thermal.advance(dt);
+            }
+            let dt_secs = dt.as_secs_f64();
+            let hottest_tested = cores
+                .iter()
+                .map(|&c| self.thermal.temp(c as usize))
+                .fold(f64::NEG_INFINITY, f64::max);
+            temp_sum += hottest_tested;
+            temp_chunks += 1;
+            max_temp = max_temp.max(hottest_tested);
+
+            for defect in &self.processor.defects {
+                if !defect.applies_to(tc.id) {
+                    continue;
+                }
+                for (idx, &pcore) in cores.iter().enumerate() {
+                    let temp = self.thermal.temp(pcore as usize);
+                    let rate = defect.rate(pcore, temp);
+                    if rate <= 0.0 {
+                        continue;
+                    }
+                    match &defect.kind {
+                        DefectKind::Computation { .. } => {
+                            let matching: Vec<((InstClass, DataType), f64)> = profiles[idx]
+                                .site_rates
+                                .iter()
+                                .filter(|((class, dt_), _)| defect.matches(*class, *dt_))
+                                .map(|&(k, v)| (k, v))
+                                .collect();
+                            let total_rate: f64 = matching.iter().map(|&(_, v)| v).sum();
+                            if total_rate <= 0.0 {
+                                continue;
+                            }
+                            let lambda = total_rate * rate * dt_secs;
+                            let k = rng.poisson(lambda);
+                            error_count += k;
+                            errors_per_core[idx] += k;
+                            let materialize = (k as usize)
+                                .min(self.cfg.max_records.saturating_sub(records.len()));
+                            for _ in 0..materialize {
+                                let weights: Vec<f64> = matching.iter().map(|&(_, v)| v).collect();
+                                let (class, dt_) = matching[rng.weighted(&weights)].0;
+                                let samples = sampler_samples.samples(class, dt_);
+                                let expected = if samples.is_empty() {
+                                    0
+                                } else {
+                                    samples[rng.below(samples.len() as u64) as usize]
+                                };
+                                let mask = defect.choose_mask(dt_, rng);
+                                records.push(SdcRecord {
+                                    setting: SettingId {
+                                        cpu: self.processor.id,
+                                        core: CoreId(pcore),
+                                        testcase: tc.id,
+                                    },
+                                    kind: SdcType::Computation,
+                                    datatype: dt_,
+                                    expected,
+                                    actual: expected ^ mask,
+                                    temp_c: temp,
+                                    at: start + elapsed,
+                                });
+                            }
+                        }
+                        DefectKind::CoherenceDrop => {
+                            let lambda = profiles[idx].invalidations_per_sec * rate * dt_secs;
+                            let k = rng.poisson(lambda);
+                            error_count += k;
+                            errors_per_core[idx] += k;
+                            self.push_consistency(
+                                &mut records,
+                                k,
+                                pcore,
+                                tc,
+                                temp,
+                                start + elapsed,
+                            );
+                        }
+                        DefectKind::TxIsolation => {
+                            let lambda = profiles[idx].tx_conflicts_per_sec * rate * dt_secs;
+                            let k = rng.poisson(lambda);
+                            error_count += k;
+                            errors_per_core[idx] += k;
+                            self.push_consistency(
+                                &mut records,
+                                k,
+                                pcore,
+                                tc,
+                                temp,
+                                start + elapsed,
+                            );
+                        }
+                    }
+                }
+            }
+            elapsed += dt;
+        }
+        // Workload ends: power returns to idle, remaining heat persists.
+        for pc in 0..self.processor.physical_cores {
+            if tested.contains(&pc) || self.cfg.stress_idle_cores {
+                self.thermal.set_power(pc as usize, 0.0);
+            }
+        }
+        self.clock.advance(duration);
+        TestcaseRun {
+            testcase: tc.id,
+            cores: cores.to_vec(),
+            duration,
+            records,
+            error_count,
+            errors_per_core,
+            mean_temp_c: if temp_chunks > 0 {
+                temp_sum / temp_chunks as f64
+            } else {
+                0.0
+            },
+            max_temp_c: if max_temp.is_finite() { max_temp } else { 0.0 },
+        }
+    }
+
+    fn push_consistency(
+        &self,
+        records: &mut Vec<SdcRecord>,
+        k: u64,
+        pcore: u16,
+        tc: &Testcase,
+        temp: f64,
+        at: Duration,
+    ) {
+        let materialize = (k as usize).min(self.cfg.max_records.saturating_sub(records.len()));
+        for _ in 0..materialize {
+            records.push(SdcRecord {
+                setting: SettingId {
+                    cpu: self.processor.id,
+                    core: CoreId(pcore),
+                    testcase: tc.id,
+                },
+                kind: SdcType::Consistency,
+                datatype: DataType::Bin64,
+                expected: 0,
+                actual: 0,
+                temp_c: temp,
+                at,
+            });
+        }
+    }
+
+    /// Full-VM validation run: executes `iters` iterations on both a
+    /// golden and a fault-injected machine and derives SDC records from
+    /// output mismatches (computation testcases) or invariant violations
+    /// (consistency testcases). Temperatures are taken from the current
+    /// thermal state and held for the (short) run.
+    pub fn run_vm(
+        &mut self,
+        tc: &Testcase,
+        cores: &[u16],
+        iters: u32,
+        rng: &mut DetRng,
+    ) -> TestcaseRun {
+        assert!(!cores.is_empty(), "no cores selected");
+        let seed = rng.next_u64();
+        let built = builders::build(tc, cores.len(), iters, seed);
+
+        let run_machine = |hook_faulty: bool, rng: &mut DetRng, thermal: &ThermalModel| {
+            let mut machine = Machine::new(cores.len(), built.mem_bytes);
+            for &(addr, val) in &built.mem_init {
+                machine.mem.raw_write_u64(addr, val);
+            }
+            for (c, p) in built.programs.iter().enumerate() {
+                if let Some(p) = p {
+                    machine.load(c, p.clone());
+                }
+            }
+            let mut interleave = rng.fork(0x5150);
+            if hook_faulty {
+                let temps: Vec<f64> = cores.iter().map(|&c| thermal.temp(c as usize)).collect();
+                // Only the defects whose trigger paths this testcase
+                // reaches participate (§4.1's selectivity).
+                let mut gated = self.processor.clone();
+                gated.defects.retain(|d| d.applies_to(tc.id));
+                let mut injector = Injector::new(&gated, cores.to_vec(), 45.0, rng.fork(0x1f));
+                injector.set_temps(&temps);
+                let out = machine.run(&mut injector, &mut interleave, self.cfg.max_unit_steps);
+                assert!(out.completed, "faulty VM run exceeded step budget");
+            } else {
+                let out = machine.run(&mut NoFaults, &mut interleave, self.cfg.max_unit_steps);
+                assert!(out.completed, "golden VM run exceeded step budget");
+            }
+            machine
+        };
+
+        let mut golden_rng = rng.fork(1);
+        let mut faulty_rng = rng.fork(2);
+        let golden = run_machine(false, &mut golden_rng, &self.thermal);
+        let faulty = run_machine(true, &mut faulty_rng, &self.thermal);
+
+        let mut records = Vec::new();
+        let temp = self.thermal.max_temp();
+        match &built.check {
+            CheckKind::GoldenCompare => {
+                for (ri, region) in built.outputs.iter().enumerate() {
+                    // Attribute the region to the machine core that owns
+                    // it (regions were appended per instance in order).
+                    let per_instance = built.outputs.len() / cores.len().max(1);
+                    let instance = ri.checked_div(per_instance).unwrap_or(0);
+                    let pcore = cores[instance.min(cores.len() - 1)];
+                    for i in 0..region.count {
+                        let e = read_element(&golden, region, i);
+                        let a = read_element(&faulty, region, i);
+                        if e != a {
+                            records.push(SdcRecord {
+                                setting: SettingId {
+                                    cpu: self.processor.id,
+                                    core: CoreId(pcore),
+                                    testcase: tc.id,
+                                },
+                                kind: SdcType::Computation,
+                                datatype: region.dt,
+                                expected: e,
+                                actual: a,
+                                temp_c: temp,
+                                at: self.clock.now(),
+                            });
+                        }
+                    }
+                }
+            }
+            CheckKind::Invariants(invs) => {
+                let violations = count_violations(&faulty, invs);
+                for _ in 0..violations {
+                    records.push(SdcRecord {
+                        setting: SettingId {
+                            cpu: self.processor.id,
+                            core: CoreId(cores[0]),
+                            testcase: tc.id,
+                        },
+                        kind: SdcType::Consistency,
+                        datatype: DataType::Bin64,
+                        expected: 0,
+                        actual: 0,
+                        temp_c: temp,
+                        at: self.clock.now(),
+                    });
+                }
+            }
+        }
+        let error_count = records.len() as u64;
+        let mut errors_per_core = vec![0u64; cores.len()];
+        for r in &records {
+            if let Some(idx) = cores.iter().position(|&c| c == r.setting.core.0) {
+                errors_per_core[idx] += 1;
+            }
+        }
+        let duration = Duration::from_secs_f64(
+            golden.cycles.iter().copied().max().unwrap_or(0) as f64 / self.cfg.clock_hz,
+        );
+        self.clock.advance(duration);
+        TestcaseRun {
+            testcase: tc.id,
+            cores: cores.to_vec(),
+            duration,
+            records,
+            error_count,
+            errors_per_core,
+            mean_temp_c: temp,
+            max_temp_c: temp,
+        }
+    }
+}
+
+/// Reads one element of an output region from flushed machine memory.
+fn read_element(machine: &Machine, region: &OutputRegion, i: u64) -> u128 {
+    let addr = region.addr + i * region.stride;
+    match (region.dt.bits(), region.stride) {
+        (80, _) => machine.mem.raw_read_u128(addr) & region.dt.mask(),
+        (32, 4) => {
+            // Packed 32-bit lanes inside 64-bit words.
+            let word = machine.mem.raw_read_u64(addr & !7);
+            let shift = (addr & 7) * 8;
+            ((word >> shift) & 0xffff_ffff) as u128
+        }
+        (32, _) if region.dt == DataType::F32 => {
+            // Scalar f32 results are stored widened to f64.
+            let word = machine.mem.raw_read_u64(addr);
+            (f64::from_bits(word) as f32).to_bits() as u128
+        }
+        _ => machine.mem.raw_read_u64(addr) as u128 & region.dt.mask(),
+    }
+}
+
+/// Counts invariant violations on a halted machine.
+fn count_violations(machine: &Machine, invs: &[Invariant]) -> u64 {
+    let mut violations = 0;
+    for inv in invs {
+        match inv {
+            Invariant::Equals { addr, value } => {
+                let got = machine.mem.raw_read_u64(*addr);
+                if got != *value {
+                    violations += got.abs_diff(*value).min(16);
+                }
+            }
+            Invariant::Zero { addr } => {
+                violations += machine.mem.raw_read_u64(*addr).min(16);
+            }
+            Invariant::CounterMatchesSuccesses {
+                counter,
+                success_addrs,
+            } => {
+                let total: u64 = success_addrs
+                    .iter()
+                    .map(|a| machine.mem.raw_read_u64(*a))
+                    .sum();
+                let got = machine.mem.raw_read_u64(*counter);
+                if got != total {
+                    violations += got.abs_diff(total).min(16);
+                }
+            }
+        }
+    }
+    violations
+}

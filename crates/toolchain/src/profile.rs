@@ -1,0 +1,138 @@
+//! Unit-run profiling.
+//!
+//! The accelerated executor needs to know, for one unit of a workload,
+//! how many results of each (instruction class × datatype) each core
+//! retires and what those result bits look like. A [`Profiler`] is a
+//! fault hook that never corrupts anything but records exactly that —
+//! the in-simulator analogue of the paper's Pin instrumentation (§4.1).
+
+use sdc_model::{DataType, DetRng};
+use softcore::{FaultHook, InstClass, RetireInfo};
+use std::collections::HashMap;
+
+/// Maximum retained bit samples per (class, datatype).
+const SAMPLE_CAP: usize = 64;
+
+/// Records retire-site statistics without perturbing execution.
+#[derive(Debug)]
+pub struct Profiler {
+    counts: HashMap<(usize, InstClass, DataType), u64>,
+    samples: HashMap<(InstClass, DataType), Vec<u128>>,
+    seen: HashMap<(InstClass, DataType), u64>,
+    rng: DetRng,
+}
+
+impl Profiler {
+    /// A fresh profiler; `rng` drives reservoir sampling.
+    pub fn new(rng: DetRng) -> Self {
+        Profiler {
+            counts: HashMap::new(),
+            samples: HashMap::new(),
+            seen: HashMap::new(),
+            rng,
+        }
+    }
+
+    /// Retired results of (class, dt) on `core` during the unit run.
+    pub fn count(&self, core: usize, class: InstClass, dt: DataType) -> u64 {
+        self.counts.get(&(core, class, dt)).copied().unwrap_or(0)
+    }
+
+    /// All (core, class, dt) → count entries.
+    pub fn counts(&self) -> impl Iterator<Item = (&(usize, InstClass, DataType), &u64)> {
+        self.counts.iter()
+    }
+
+    /// Sampled result bits for (class, dt) (up to 64, reservoir-sampled).
+    pub fn samples(&self, class: InstClass, dt: DataType) -> &[u128] {
+        self.samples
+            .get(&(class, dt))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct (class, dt) pairs observed.
+    pub fn site_kinds(&self) -> Vec<(InstClass, DataType)> {
+        let mut v: Vec<_> = self.samples.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+impl FaultHook for Profiler {
+    fn corrupt(&mut self, info: &RetireInfo) -> Option<u128> {
+        *self
+            .counts
+            .entry((info.core, info.class, info.dt))
+            .or_insert(0) += 1;
+        let seen = self.seen.entry((info.class, info.dt)).or_insert(0);
+        *seen += 1;
+        let bucket = self.samples.entry((info.class, info.dt)).or_default();
+        if bucket.len() < SAMPLE_CAP {
+            bucket.push(info.bits);
+        } else {
+            // Reservoir sampling keeps the samples representative of the
+            // whole unit, not just its first instructions.
+            let j = self.rng.below(*seen) as usize;
+            if j < SAMPLE_CAP {
+                bucket[j] = info.bits;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(core: usize, class: InstClass, dt: DataType, bits: u128) -> RetireInfo {
+        RetireInfo {
+            core,
+            class,
+            dt,
+            bits,
+        }
+    }
+
+    #[test]
+    fn counts_and_samples() {
+        let mut p = Profiler::new(DetRng::new(1));
+        for i in 0..10 {
+            assert_eq!(
+                p.corrupt(&info(0, InstClass::VecFma, DataType::F32, i)),
+                None
+            );
+        }
+        p.corrupt(&info(1, InstClass::VecFma, DataType::F32, 99));
+        assert_eq!(p.count(0, InstClass::VecFma, DataType::F32), 10);
+        assert_eq!(p.count(1, InstClass::VecFma, DataType::F32), 1);
+        assert_eq!(p.count(0, InstClass::Crc, DataType::Bin32), 0);
+        assert_eq!(p.samples(InstClass::VecFma, DataType::F32).len(), 11);
+    }
+
+    #[test]
+    fn reservoir_caps_and_stays_representative() {
+        let mut p = Profiler::new(DetRng::new(2));
+        for i in 0..10_000u128 {
+            p.corrupt(&info(0, InstClass::IntArith, DataType::I32, i));
+        }
+        let s = p.samples(InstClass::IntArith, DataType::I32);
+        assert_eq!(s.len(), SAMPLE_CAP);
+        // Late values must be able to appear (not just the first 64).
+        assert!(
+            s.iter().any(|&b| b > 1000),
+            "reservoir retains late samples"
+        );
+    }
+
+    #[test]
+    fn site_kinds_sorted_and_distinct() {
+        let mut p = Profiler::new(DetRng::new(3));
+        p.corrupt(&info(0, InstClass::Crc, DataType::Bin32, 1));
+        p.corrupt(&info(0, InstClass::IntArith, DataType::I32, 1));
+        p.corrupt(&info(1, InstClass::Crc, DataType::Bin32, 2));
+        let kinds = p.site_kinds();
+        assert_eq!(kinds.len(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Farron vs. the Alibaba baseline on one faulty processor: coverage of
+//! one regular round, round duration, and the online temperature control.
+//!
+//! ```text
+//! cargo run --release --example farron_vs_baseline
+//! ```
+
+use farron::baseline::Baseline;
+use farron::online::{simulate_online, AppProfile, OnlineConfig};
+use farron::priority::PriorityBook;
+use farron::schedule::FarronScheduler;
+use sdc_repro::prelude::*;
+
+fn main() {
+    let suite = toolchain::Suite::standard();
+    let case = silicon::catalog::by_name("FPU1").expect("catalog");
+    let processor = &case.processor;
+    println!(
+        "evaluating {} (defective pcore {:?})",
+        case.name,
+        processor.defective_cores()
+    );
+
+    // Adequate pre-production testing: long burn-in slots over every
+    // candidate — this is where the "known errors" and the suspected
+    // priorities come from.
+    let profiles =
+        fleet::screening::StaticSuiteProfile::build(&suite, processor.physical_cores as usize);
+    let reference = analysis::study::run_case(
+        &case,
+        &suite,
+        &profiles,
+        &analysis::study::StudyConfig {
+            per_testcase: Duration::from_mins(10),
+            seed: 1,
+            max_candidates: None,
+            exec: toolchain::ExecConfig {
+                preheat_c: Some(58.0),
+                stress_idle_cores: true,
+                ..Default::default()
+            },
+        },
+    );
+    println!(
+        "known errors (adequate testing): {} failing testcases",
+        reference.failing.len()
+    );
+
+    let mut book = PriorityBook::new();
+    for &id in &reference.failing {
+        book.record_processor_detection(processor.id.0, id);
+    }
+
+    // One Farron regular round vs one baseline round.
+    let farron_plan =
+        FarronScheduler::default().plan(&suite, &book, processor.id, &[Feature::Fpu], 58.0);
+    let baseline_plan = Baseline::default().plan(&suite);
+    println!(
+        "round duration: Farron {:.2} h vs baseline {:.2} h",
+        farron_plan.total_duration().as_hours_f64(),
+        baseline_plan.total_duration().as_hours_f64()
+    );
+
+    let burn_in = toolchain::ExecConfig {
+        preheat_c: Some(58.0),
+        stress_idle_cores: true,
+        ..Default::default()
+    };
+    let mut rng = DetRng::new(2);
+    let farron_report =
+        toolchain::framework::run_plan(processor, &suite, &farron_plan, burn_in, &mut rng);
+    let mut rng_b = DetRng::new(3);
+    let baseline_report = toolchain::framework::run_plan(
+        processor,
+        &suite,
+        &baseline_plan,
+        toolchain::ExecConfig::default(),
+        &mut rng_b,
+    );
+    let coverage = |failing: &[sdc_model::TestcaseId]| {
+        failing
+            .iter()
+            .filter(|t| reference.failing.contains(t))
+            .count() as f64
+            / reference.failing.len().max(1) as f64
+    };
+    println!(
+        "one-round coverage: Farron {:.2} vs baseline {:.2}",
+        coverage(&farron_report.failing_testcases()),
+        coverage(&baseline_report.failing_testcases())
+    );
+
+    // Fine-grained decommission: mask the defective core and keep the
+    // rest in the reliable resource pool.
+    let decision = farron::decommission::decide(&processor.defective_cores());
+    let mut pool = farron::decommission::ReliablePool::new();
+    pool.apply(processor.id, &decision);
+    let cores: Vec<u16> = pool
+        .available_cores(processor.id, processor.physical_cores)
+        .iter()
+        .map(|c| c.0)
+        .collect();
+    println!(
+        "decommission: {:?} → application runs on {} of {} cores",
+        decision,
+        cores.len(),
+        processor.physical_cores
+    );
+
+    // Online: the impacted workload under the adaptive boundary, on the
+    // reliable cores only.
+    let app = AppProfile {
+        testcase: reference.failing[0],
+        utilization: 0.3,
+        burst_amplitude: 0.15,
+        burst_period: Duration::from_secs(120),
+        spike_prob: 0.002,
+    };
+    let mut rng_o = DetRng::new(4);
+    let online = simulate_online(
+        processor,
+        &suite,
+        &app,
+        &cores,
+        &OnlineConfig::default(),
+        &mut rng_o,
+    );
+    println!(
+        "online (8 h): backoff {:.2} s/h, max temp {:.1} ℃, learned boundary {:.1} ℃, SDC events {}",
+        online.backoff_secs_per_hour,
+        online.max_temp_c,
+        online.boundary_final_c,
+        online.sdc_events
+    );
+}

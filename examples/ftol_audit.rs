@@ -1,0 +1,103 @@
+//! Observation 12 walk-through: why checksums, ECC and erasure coding
+//! struggle against CPU SDCs — with concrete corrupted bytes on screen.
+//!
+//! ```text
+//! cargo run --release --example ftol_audit
+//! ```
+
+use ftol::{crc, ecc, rs};
+
+fn main() {
+    // Scenario 1: the CPU computes a wrong value, then faithfully
+    // checksums it — the checksum certifies the corruption.
+    println!("-- end-to-end checksum, SDC before metadata --");
+    let correct: Vec<u8> = (0..32).collect();
+    let mut computed = correct.clone();
+    computed[5] ^= 0x20; // a defective ALU produced this byte
+    let stored_crc = crc::crc32(&computed);
+    println!("  data corrupted at byte 5, CRC computed afterwards: {stored_crc:#010x}");
+    println!(
+        "  verification: {} — the corruption is certified, not caught",
+        if crc::crc32(&computed) == stored_crc {
+            "PASSES"
+        } else {
+            "fails"
+        }
+    );
+
+    // Scenario 2: corruption after the checksum is caught.
+    let stored = crc::crc32(&correct);
+    let mut later = correct.clone();
+    later[5] ^= 0x20;
+    println!(
+        "  same flip after metadata: verification {}",
+        if crc::crc32(&later) == stored {
+            "passes"
+        } else {
+            "FAILS (detected)"
+        }
+    );
+
+    // Scenario 3: SECDED vs multi-bit SDCs (Observation 8).
+    println!("\n-- SECDED ECC vs multi-bit SDCs --");
+    let word = 0x0123_4567_89ab_cdefu64;
+    let cw = ecc::encode(word);
+    let single = ecc::Codeword {
+        data: cw.data ^ (1 << 9),
+        check: cw.check,
+    };
+    println!("  single flip: {:?}", ecc::decode(single));
+    let double = ecc::Codeword {
+        data: cw.data ^ (1 << 9) ^ (1 << 40),
+        check: cw.check,
+    };
+    println!("  double flip: {:?}", ecc::decode(double));
+    let triple = ecc::Codeword {
+        data: cw.data ^ (1 << 2) ^ (1 << 21) ^ (1 << 44),
+        check: cw.check,
+    };
+    match ecc::decode(triple) {
+        ecc::Decoded::Corrected(v) if v != word => {
+            println!("  triple flip: MISCORRECTED to {v:#018x} (expected {word:#018x})")
+        }
+        other => println!("  triple flip: {other:?}"),
+    }
+
+    // Scenario 4: erasure coding propagates a corrupted shard.
+    println!("\n-- erasure coding (4+2): corruption propagates --");
+    let codec = rs::ReedSolomon::new(4, 2);
+    let data: Vec<Vec<u8>> = (0..4u8)
+        .map(|i| (0..16).map(|j| i * 16 + j).collect())
+        .collect();
+    let parity = codec.encode(&data);
+    let mut shards: Vec<Option<Vec<u8>>> = data.iter().chain(&parity).cloned().map(Some).collect();
+    shards[1].as_mut().expect("present")[3] ^= 0x08; // SDC in shard 1
+    shards[2] = None; // shard 2 legitimately lost
+    codec.reconstruct(&mut shards).expect("rebuild succeeds");
+    let rebuilt = shards[2].as_ref().expect("rebuilt");
+    println!(
+        "  rebuilt shard 2 {} the original (diff at {} byte(s)) — nothing flagged it",
+        if rebuilt == &data[2] {
+            "matches"
+        } else {
+            "DIFFERS from"
+        },
+        rebuilt.iter().zip(&data[2]).filter(|(a, b)| a != b).count()
+    );
+
+    // The full quantitative audit.
+    println!("\n-- detection rates over 2000 injected SDCs --");
+    println!(
+        "{:<24} {:>12} {:>13} {:>12}",
+        "technique", "pre-meta det", "post-meta det", "silent prop"
+    );
+    for o in ftol::audit_all(2000, 7) {
+        println!(
+            "{:<24} {:>12.3} {:>13.3} {:>12.3}",
+            o.technique.label(),
+            o.detected_before_metadata,
+            o.detected_after_metadata,
+            o.silently_propagated
+        );
+    }
+}

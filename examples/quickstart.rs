@@ -1,0 +1,82 @@
+//! Quickstart: test a defective processor with the toolchain and look at
+//! the corrupted values it produces.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdc_repro::prelude::*;
+
+fn main() {
+    // SIMD1 from the paper's Table 3: one defective physical core whose
+    // vector fused-multiply-add unit corrupts f32 results.
+    let simd1 = silicon::catalog::by_name("SIMD1")
+        .expect("catalog")
+        .processor;
+    println!(
+        "processor {}: arch {}, {} physical cores, defective cores {:?}",
+        simd1.id,
+        simd1.arch,
+        simd1.physical_cores,
+        simd1.defective_cores()
+    );
+
+    // The manufacturer toolchain: 633 testcases simulating cloud
+    // workloads.
+    let suite = toolchain::Suite::standard();
+    println!("toolchain: {} testcases", suite.len());
+
+    // Pick an f32 matrix kernel — the workload family SIMD1 is known to
+    // corrupt, choosing one whose code paths actually reach the defect
+    // (§4.1: not every matching testcase triggers) — and a control
+    // workload it does not touch.
+    let matrix = suite
+        .testcases()
+        .iter()
+        .filter(|t| t.name.starts_with("vec/matk/l0"))
+        .find(|t| simd1.defects.iter().any(|d| d.applies_to(t.id)))
+        .expect("matrix testcase");
+    let crc = suite
+        .testcases()
+        .iter()
+        .find(|t| t.name.starts_with("alu/crc32"))
+        .expect("crc testcase");
+
+    let mut executor = toolchain::Executor::new(&simd1, toolchain::ExecConfig::default());
+    let mut rng = DetRng::new(2023);
+
+    // Three virtual minutes of testing on the defective core 0.
+    let run = executor.run(matrix, &[0], Duration::from_mins(3), &mut rng);
+    println!(
+        "\n{} on pcore0: {} SDC events in {} ({:.1} errors/min)",
+        matrix.name,
+        run.error_count,
+        run.duration,
+        run.occurrence_frequency()
+    );
+    for record in run.records.iter().take(5) {
+        let expected = f32::from_bits(record.expected as u32);
+        let actual = f32::from_bits(record.actual as u32);
+        println!(
+            "  corrupted {} result: expected {expected:e}, got {actual:e} (mask {:#010x}, {} bit(s), rel loss {:.3e})",
+            record.datatype,
+            record.mask(),
+            record.flipped_bits(),
+            record.rel_precision_loss().unwrap_or(f64::NAN)
+        );
+    }
+
+    // The same testcase on a healthy core detects nothing…
+    let healthy = executor.run(matrix, &[1], Duration::from_mins(3), &mut rng);
+    println!(
+        "\n{} on healthy pcore1: {} SDC events",
+        matrix.name, healthy.error_count
+    );
+
+    // …and an unrelated workload on the defective core detects nothing.
+    let unrelated = executor.run(crc, &[0], Duration::from_mins(3), &mut rng);
+    println!(
+        "{} on pcore0: {} SDC events",
+        crc.name, unrelated.error_count
+    );
+}

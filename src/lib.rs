@@ -1,0 +1,64 @@
+//! # sdc-repro
+//!
+//! A full reproduction of *“Understanding Silent Data Corruptions in a
+//! Large Production CPU Population”* (SOSP ’23) as a Rust workspace:
+//! the simulated defective-silicon substrate, the 633-testcase toolchain,
+//! the million-CPU fleet campaign, the 27-processor deep study with every
+//! observation/table/figure, the Observation-12 fault-tolerance audit,
+//! and the Farron mitigation system with its evaluation.
+//!
+//! The crate re-exports the workspace members under stable names; the
+//! `repro` binary (`cargo run --release --bin repro -- all`) regenerates
+//! every table and figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sdc_repro::prelude::*;
+//!
+//! // A faulty processor from the paper's Table 3 catalog…
+//! let simd1 = silicon::catalog::by_name("SIMD1").unwrap().processor;
+//! // …the manufacturer toolchain…
+//! let suite = toolchain::Suite::standard();
+//! // …and a quick test of an f32 vector-FMA workload its defect's code
+//! // paths actually reach (§4.1: not every matching testcase triggers).
+//! let tc = suite
+//!     .testcases()
+//!     .iter()
+//!     .filter(|t| t.name.starts_with("vec/matk/l0"))
+//!     .find(|t| simd1.defects.iter().any(|d| d.applies_to(t.id)))
+//!     .unwrap();
+//! let mut executor = toolchain::Executor::new(&simd1, toolchain::ExecConfig::default());
+//! let mut rng = sdc_model::DetRng::new(42);
+//! let run = executor.run(tc, &[0], sdc_model::Duration::from_mins(3), &mut rng);
+//! assert!(run.detected(), "SIMD1 fails f32 FMA testcases");
+//! ```
+
+pub use analysis;
+pub use farron;
+pub use fleet;
+pub use ftol;
+pub use sdc_model;
+pub use silicon;
+pub use softcore;
+pub use softfloat;
+pub use thermal;
+pub use toolchain;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use crate::{
+        analysis, farron, fleet, ftol, sdc_model, silicon, softcore, softfloat, thermal, toolchain,
+    };
+    pub use sdc_model::{DataType, DetRng, Duration, Feature, SdcRecord, SdcType};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        let suite = toolchain::Suite::standard();
+        assert_eq!(suite.len(), 633);
+        assert_eq!(silicon::catalog::deep_study_set().len(), 27);
+    }
+}

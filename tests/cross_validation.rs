@@ -1,0 +1,111 @@
+//! Cross-crate consistency: algorithms that exist in more than one layer
+//! (the VM substrate, the analysis vocabulary, the fault-tolerance
+//! library) must agree exactly, or records and checks would drift apart.
+
+use proptest::prelude::*;
+use sdc_model::{DataType, Value};
+use softfloat::F80;
+
+proptest! {
+    #[test]
+    fn f80_numeric_view_matches_sdc_model_decoder(x in any::<f64>()) {
+        prop_assume!(x.is_finite());
+        // softfloat encodes a value; sdc-model's independent 80-bit
+        // decoder (used for precision-loss analysis) must read the same
+        // number back.
+        let bits = F80::from_f64(x).encode();
+        let via_model = Value::from_f64x_bits(bits).to_f64().expect("numeric");
+        let via_softfloat = F80::decode(bits).to_f64();
+        prop_assert_eq!(via_model.to_bits(), via_softfloat.to_bits());
+        prop_assert_eq!(via_model.to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn f80_corrupted_encodings_agree_between_decoders(
+        x in any::<f64>(),
+        flip in 0u32..80,
+    ) {
+        prop_assume!(x.is_finite());
+        // Even for corrupted encodings (the Figure 4(d) experiments) the
+        // two decoders agree on finite values.
+        let bits = F80::from_f64(x).encode() ^ (1u128 << flip);
+        let sf = F80::decode(bits).to_f64();
+        let model = Value::from_f64x_bits(bits).to_f64().expect("numeric");
+        if sf.is_nan() {
+            prop_assert!(model.is_nan());
+        } else if sf.is_infinite() {
+            prop_assert_eq!(model, sf);
+        } else {
+            // Allow one-ulp differences from the decoders' different
+            // rounding of sub-f64 significand bits.
+            let diff = (sf - model).abs();
+            let tol = sf.abs().max(model.abs()).max(f64::MIN_POSITIVE) * 1e-15;
+            prop_assert!(diff <= tol, "sf {sf} vs model {model}");
+        }
+    }
+
+    #[test]
+    fn vm_crc_step_matches_library_crc(words in prop::collection::vec(any::<u64>(), 1..16)) {
+        // The softcore `Crc32Step` instruction (what testcases execute)
+        // and ftol's table-driven CRC-32 (what applications verify with)
+        // are the same function.
+        let mut vm_crc = 0xffff_ffffu32;
+        for &w in &words {
+            vm_crc = softcore::cpu::crc32_step(vm_crc, w);
+        }
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        // ftol::crc32 applies the final xor-out; undo it to compare raw state.
+        let lib = ftol::crc::crc32(&bytes) ^ 0xffff_ffff;
+        prop_assert_eq!(vm_crc, lib);
+    }
+
+    #[test]
+    fn record_precision_loss_matches_direct_value_computation(
+        e in any::<u64>(),
+        a in any::<u64>(),
+    ) {
+        use sdc_model::{CoreId, CpuId, Duration, SdcRecord, SdcType, SettingId, TestcaseId};
+        let rec = SdcRecord {
+            setting: SettingId { cpu: CpuId(1), core: CoreId(0), testcase: TestcaseId(0) },
+            kind: SdcType::Computation,
+            datatype: DataType::F64,
+            expected: e as u128,
+            actual: a as u128,
+            temp_c: 50.0,
+            at: Duration::ZERO,
+        };
+        let direct = Value::rel_precision_loss(
+            Value::from_bits(DataType::F64, e as u128),
+            Value::from_bits(DataType::F64, a as u128),
+        );
+        let via_record = rec.rel_precision_loss();
+        match (direct, via_record) {
+            (Some(x), Some(y)) => {
+                if x.is_nan() {
+                    prop_assert!(y.is_nan());
+                } else {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn defect_masks_respect_datatype_widths_everywhere() {
+    // The defect model's masks must stay within each datatype's width —
+    // otherwise records would carry phantom flips the analyses would
+    // count.
+    use sdc_model::DetRng;
+    use silicon::defect::gen_mask;
+    let mut rng = DetRng::new(9);
+    for dt in DataType::ALL {
+        for _ in 0..500 {
+            let mask = gen_mask(dt, &mut rng);
+            assert_eq!(mask & !dt.mask(), 0, "{dt} mask escapes width");
+            assert_ne!(mask, 0, "{dt} mask must flip something");
+        }
+    }
+}

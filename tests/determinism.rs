@@ -1,0 +1,95 @@
+//! Determinism: every pipeline regenerates bit-identical results from the
+//! same seed — the property that makes the paper's tables reproducible.
+
+use fleet::{run_campaign, FleetConfig};
+use sdc_model::{DetRng, Duration};
+use silicon::catalog;
+use toolchain::{ExecConfig, Executor, Suite};
+
+#[test]
+fn catalog_is_stable() {
+    let a = catalog::deep_study_set();
+    let b = catalog::deep_study_set();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.processor, y.processor);
+    }
+}
+
+#[test]
+fn suite_is_stable() {
+    let a = Suite::standard();
+    let b = Suite::standard();
+    for (x, y) in a.testcases().iter().zip(b.testcases()) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn executor_runs_are_seed_deterministic() {
+    let suite = Suite::standard();
+    let mix2 = catalog::by_name("MIX2").expect("catalog").processor;
+    let tc = suite
+        .testcases()
+        .iter()
+        .find(|t| t.name.starts_with("alu/hash64"))
+        .expect("testcase");
+    let run = |seed: u64| {
+        let mut ex = Executor::new(&mix2, ExecConfig::default());
+        let mut rng = DetRng::new(seed);
+        let r = ex.run(tc, &[0, 1, 2], Duration::from_mins(2), &mut rng);
+        (r.error_count, r.records.clone(), r.max_temp_c.to_bits())
+    };
+    let (c1, r1, t1) = run(5);
+    let (c2, r2, t2) = run(5);
+    assert_eq!(c1, c2);
+    assert_eq!(r1, r2, "record streams are bit-identical");
+    assert_eq!(t1, t2);
+    let (c3, _, _) = run(6);
+    // Different seeds may coincide in count, but the streams should
+    // usually differ; this is a sanity check, not a strict requirement.
+    let _ = c3;
+}
+
+#[test]
+fn fleet_campaign_is_seed_deterministic() {
+    let suite = Suite::standard();
+    let cfg = FleetConfig {
+        total_cpus: 150_000,
+        seed: 99,
+    };
+    let a = run_campaign(&cfg, &suite);
+    let b = run_campaign(&cfg, &suite);
+    assert_eq!(a.fates, b.fates);
+    assert_eq!(a.table1(), b.table1());
+}
+
+#[test]
+fn vm_execution_is_interleave_seed_deterministic() {
+    use softcore::{IntOpKind, Machine, NoFaults, ProgramBuilder};
+    let build = || {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 0).mov_imm(1, 64).mov_imm(2, 1).loop_start(50);
+        b.lock_acquire(0);
+        b.load(3, 1, 0);
+        b.int_op(IntOpKind::Add, sdc_model::DataType::Bin64, 3, 3, 2);
+        b.store(3, 1, 0);
+        b.lock_release(0);
+        b.loop_end();
+        b.build()
+    };
+    let run = |seed: u64| {
+        let mut m = Machine::new(3, 1 << 16);
+        for c in 0..3 {
+            m.load(c, build());
+        }
+        let mut rng = DetRng::new(seed);
+        let out = m.run(&mut NoFaults, &mut rng, 50_000_000);
+        (out.steps, m.mem.raw_read_u64(64))
+    };
+    assert_eq!(run(1), run(1));
+    // Any interleaving preserves the invariant.
+    assert_eq!(run(1).1, 150);
+    assert_eq!(run(2).1, 150);
+}

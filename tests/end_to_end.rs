@@ -1,0 +1,159 @@
+//! End-to-end: the full Farron workflow on one faulty processor — from
+//! pre-production testing through online protection, a regular-test
+//! failure, targeted testing, and fine-grained decommission.
+
+use farron::decommission::{decide, DecommissionDecision, ReliablePool};
+use farron::online::{simulate_online, AppProfile, OnlineConfig};
+use farron::priority::PriorityBook;
+use farron::schedule::FarronScheduler;
+use farron::state::{Event, FarronState, StateMachine, Transition};
+use fleet::screening::StaticSuiteProfile;
+use sdc_model::{DetRng, Duration, Feature};
+use silicon::catalog;
+use toolchain::{framework, ExecConfig, Suite};
+
+#[test]
+fn full_farron_lifecycle_on_fpu1() {
+    let suite = Suite::standard();
+    let case = catalog::by_name("FPU1").expect("catalog");
+    let processor = &case.processor;
+    let mut machine = StateMachine::new();
+    assert_eq!(machine.state(), FarronState::PreProduction);
+
+    // 1. Pre-production: adequate testing finds the defective core.
+    let profiles = StaticSuiteProfile::build(&suite, processor.physical_cores as usize);
+    let reference = analysis::study::run_case(
+        &case,
+        &suite,
+        &profiles,
+        &analysis::study::StudyConfig {
+            per_testcase: Duration::from_mins(5),
+            seed: 91,
+            max_candidates: None,
+            exec: ExecConfig {
+                preheat_c: Some(58.0),
+                stress_idle_cores: true,
+                ..Default::default()
+            },
+        },
+    );
+    assert!(!reference.failing.is_empty(), "pre-production detects FPU1");
+    let mut defective: Vec<sdc_model::CoreId> = reference
+        .freq_per_setting
+        .iter()
+        .map(|&(s, _)| s.core)
+        .collect();
+    defective.sort();
+    defective.dedup();
+    assert_eq!(
+        defective,
+        vec![sdc_model::CoreId(3)],
+        "only pcore 3 is defective"
+    );
+
+    // 2. Fine-grained decommission: mask pcore 3, keep serving.
+    let decision = decide(&defective);
+    assert_eq!(
+        decision,
+        DecommissionDecision::MaskCores(vec![sdc_model::CoreId(3)])
+    );
+    let transition = machine.handle(Event::PreProductionFailed(defective.clone()));
+    assert_eq!(transition, Transition::Moved(FarronState::Online));
+    let mut pool = ReliablePool::new();
+    pool.apply(processor.id, &decision);
+    let cores: Vec<u16> = pool
+        .available_cores(processor.id, processor.physical_cores)
+        .iter()
+        .map(|c| c.0)
+        .collect();
+    assert_eq!(cores.len(), processor.physical_cores as usize - 1);
+
+    // 3. Online: the application runs protected on the reliable cores and
+    // sees no SDCs.
+    let mut book = PriorityBook::new();
+    for &id in &reference.failing {
+        book.record_processor_detection(processor.id.0, id);
+    }
+    let app = AppProfile {
+        testcase: reference.failing[0],
+        utilization: 0.3,
+        burst_amplitude: 0.15,
+        burst_period: Duration::from_secs(120),
+        spike_prob: 0.002,
+    };
+    let mut rng = DetRng::new(92);
+    let online = simulate_online(
+        processor,
+        &suite,
+        &app,
+        &cores,
+        &OnlineConfig {
+            duration: Duration::from_hours(2),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    assert_eq!(
+        online.sdc_events, 0,
+        "masked core, no SDCs under protection"
+    );
+
+    // 4. A regular Farron round still exercises the suspected testcases
+    // (long-term protection), here run on all cores to re-confirm.
+    let plan = FarronScheduler::default().plan(
+        &suite,
+        &book,
+        processor.id,
+        &[Feature::Fpu],
+        online.boundary_final_c,
+    );
+    let all: Vec<u16> = (0..processor.physical_cores).collect();
+    let _ = all;
+    let mut rng2 = DetRng::new(93);
+    let report = framework::run_plan(
+        processor,
+        &suite,
+        &plan,
+        ExecConfig {
+            preheat_c: Some(58.0),
+            stress_idle_cores: true,
+            ..Default::default()
+        },
+        &mut rng2,
+    );
+    assert!(
+        report.detected(),
+        "regular round re-detects the suspected testcases"
+    );
+
+    // 5. The regular failure sends the workflow through Suspected and
+    // back online after targeted testing confirms the same single core.
+    assert_eq!(
+        machine.handle(Event::RegularTestFailed),
+        Transition::Moved(FarronState::Suspected)
+    );
+    assert_eq!(
+        machine.handle(Event::TargetedTestCompleted(defective)),
+        Transition::Moved(FarronState::Online)
+    );
+    assert_eq!(machine.masked_cores(), &[sdc_model::CoreId(3)]);
+}
+
+#[test]
+fn deprecation_path_for_widely_defective_processor() {
+    // CNST2 is defective on all 24 cores: targeted testing confirms more
+    // than two defective cores and the processor is deprecated — matching
+    // the paper's policy.
+    let cnst2 = catalog::by_name("CNST2").expect("catalog").processor;
+    let defective = cnst2.defective_cores();
+    assert!(defective.len() > 2);
+    assert_eq!(decide(&defective), DecommissionDecision::DeprecateProcessor);
+
+    let mut machine = StateMachine::new();
+    machine.handle(Event::PreProductionPassed);
+    machine.handle(Event::RegularTestFailed);
+    assert_eq!(
+        machine.handle(Event::TargetedTestCompleted(defective)),
+        Transition::Deprecated
+    );
+}

@@ -1,0 +1,141 @@
+//! Integration of the "new opportunities" the paper sketches in §6.2 —
+//! targeting vulnerable features, controlling temperature, and designing
+//! location-aware codes — implemented across the workspace and exercised
+//! here against the measured defect model.
+
+use ftol::sdc_code;
+use sdc_model::{DataType, DetRng, Duration};
+use silicon::catalog;
+use silicon::defect::gen_mask;
+use toolchain::Suite;
+
+#[test]
+fn asymmetric_code_beats_uniform_secded_on_the_defect_mask_distribution() {
+    // §6.2: "Considering bitflips have location preference, can we design
+    // better coding techniques?" — yes: same 8-bit overhead, allocated by
+    // significance, evaluated on the *actual* defect-model f64 masks.
+    let mut mask_rng = DetRng::new(41);
+    let mut value_rng = DetRng::new(42);
+    let values: Vec<u64> = (0..6000)
+        .map(|_| value_rng.range_f64(1e-3, 1e9).to_bits())
+        .collect();
+    let c = sdc_code::compare(values, || gen_mask(DataType::F64, &mut mask_rng) as u64);
+    assert!(c.trials > 5000);
+    assert_eq!(c.asym_false_alarms, 0, "no alarms on harmless flips");
+    assert!(
+        c.asym_corrected >= c.uniform_corrected,
+        "asymmetric corrects at least as much: {c:?}"
+    );
+    assert!(
+        c.asym_silent_significant <= c.uniform_silent_significant,
+        "and leaks no more: {c:?}"
+    );
+}
+
+#[test]
+fn cooling_device_control_is_the_performance_free_alternative() {
+    // §5: cooling-device control "has no impact on application
+    // performance" — measured head-to-head with workload backoff on
+    // MIX1's temperature-gated defect.
+    use farron::{simulate_online, AppProfile, ControlMode, OnlineConfig};
+    let suite = Suite::standard();
+    let mix1 = catalog::by_name("MIX1").unwrap().processor;
+    let tricky = mix1.defects[1].clone();
+    let tc = suite
+        .testcases()
+        .iter()
+        .filter(|t| t.name.starts_with("fpu/f64/fam2"))
+        .find(|t| tricky.applies_to(t.id))
+        .expect("applicable workload")
+        .id;
+    let app = AppProfile {
+        testcase: tc,
+        utilization: 0.5,
+        burst_amplitude: 0.3,
+        burst_period: Duration::from_secs(120),
+        spike_prob: 0.002,
+    };
+    let cores: Vec<u16> = (0..16).collect();
+    let cfg = OnlineConfig {
+        duration: Duration::from_hours(2),
+        ..OnlineConfig::default()
+    };
+
+    let mut rng = DetRng::new(51);
+    let backoff = simulate_online(&mix1, &suite, &app, &cores, &cfg, &mut rng);
+    let mut rng = DetRng::new(51);
+    let cooling = simulate_online(
+        &mix1,
+        &suite,
+        &app,
+        &cores,
+        &OnlineConfig {
+            control: ControlMode::CoolingDevice { boost_factor: 0.5 },
+            ..cfg
+        },
+        &mut rng,
+    );
+    // Both hold the die under the 59 ℃ trigger gate and suppress SDCs.
+    assert!(backoff.max_temp_c < 59.5, "{}", backoff.max_temp_c);
+    assert!(cooling.max_temp_c < 59.5, "{}", cooling.max_temp_c);
+    assert_eq!(backoff.sdc_events, 0);
+    assert_eq!(cooling.sdc_events, 0);
+    // Only the backoff path pays with throughput.
+    assert!(backoff.performance_loss > 0.0);
+    assert_eq!(cooling.performance_loss, 0.0);
+}
+
+#[test]
+fn fine_grained_decommission_saves_fleet_capacity() {
+    // The fail-in-place direction (§3.2): over the deep-study set, the
+    // whole-processor policy throws away every core; masking saves the
+    // single-core-defective majority of Observation 4.
+    let set = catalog::deep_study_set();
+    let report = farron::capacity_report(set.iter().map(|c| &c.processor));
+    assert_eq!(report.whole_processor_retained, 0);
+    assert!(report.fine_grained_retained > 200, "{report:?}");
+    assert!(report.saved_fraction() > 0.35);
+}
+
+#[test]
+fn suspect_localization_reproduces_the_papers_findings() {
+    use analysis::study::{run_case, StudyConfig};
+    use analysis::suspects::{localizes, rank_suspects};
+    use fleet::screening::StaticSuiteProfile;
+
+    let suite = Suite::standard();
+    // FPU1's arctangent stands out ("a suspect in FPU1 and FPU2");
+    // CNST1 resists localization.
+    for (name, expect_localized) in [("FPU1", true), ("CNST1", false)] {
+        let case = catalog::by_name(name).expect("catalog");
+        let profiles = StaticSuiteProfile::build(&suite, case.processor.physical_cores as usize);
+        let data = run_case(
+            &case,
+            &suite,
+            &profiles,
+            // Plain (non-burn-in) short windows: only the usage-dense
+            // testcases fail, which is exactly the separation the paper's
+            // Pin-based statistics exploit.
+            &StudyConfig {
+                per_testcase: Duration::from_mins(2),
+                seed: 61,
+                max_candidates: None,
+                ..StudyConfig::default()
+            },
+        );
+        assert!(!data.failing.is_empty(), "{name} fails testcases");
+        let suspects = rank_suspects(&data, &suite, &profiles);
+        assert_eq!(
+            localizes(&suspects, 5.0),
+            expect_localized,
+            "{name}: top suspect {:?}",
+            suspects.first()
+        );
+        if expect_localized {
+            assert!(suspects.iter().take(3).any(|s| matches!(
+                s.class,
+                softcore::InstClass::FloatAtan | softcore::InstClass::X87Atan
+            )));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Integration: the paper's observation-level claims hold on the
+//! simulated study.
+//!
+//! One reduced deep study is shared across the assertions (full-scale
+//! regeneration lives in the `repro` binary and the bench harness).
+
+use analysis::study::{run_deep_study, StudyConfig, StudyData};
+use analysis::{datatypes, observations, patterns, reproducibility};
+use sdc_model::{DataType, Duration, Feature, SdcType};
+use std::sync::OnceLock;
+use toolchain::Suite;
+
+fn study() -> &'static StudyData {
+    static STUDY: OnceLock<StudyData> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        run_deep_study(&StudyConfig {
+            per_testcase: Duration::from_mins(2),
+            seed: 27,
+            max_candidates: Some(90),
+            ..StudyConfig::default()
+        })
+    })
+}
+
+#[test]
+fn obs4_scope_split_and_core_spread() {
+    let s = observations::obs4_scope(study());
+    // About half single-core, half all-core (Observation 4). The reduced
+    // study can miss a processor or two; require the rough split.
+    assert!(s.single_core >= 8, "single-core count {}", s.single_core);
+    assert!(s.multi_core >= 6, "multi-core count {}", s.multi_core);
+    // Per-core frequencies differ by orders of magnitude.
+    assert!(
+        s.max_core_freq_ratio > 50.0,
+        "cross-core ratio {}",
+        s.max_core_freq_ratio
+    );
+}
+
+#[test]
+fn obs5_type_split_and_invariant() {
+    let s = observations::obs5_types(study());
+    assert!(
+        s.computation >= 15,
+        "computation processors {}",
+        s.computation
+    );
+    assert!(
+        s.consistency >= 4,
+        "consistency processors {}",
+        s.consistency
+    );
+    assert!(s.single_type_invariant, "no processor mixes SDC types");
+}
+
+#[test]
+fn obs6_floats_are_most_affected() {
+    let s = observations::obs6_7_floats(study());
+    assert!(
+        s.float_share > s.other_share,
+        "float {} vs other {}",
+        s.float_share,
+        s.other_share
+    );
+}
+
+#[test]
+fn obs7_fraction_concentration_and_direction_balance() {
+    let s = observations::obs6_7_floats(study());
+    assert!(
+        s.f64_fraction_share > 0.8,
+        "f64 fraction share {}",
+        s.f64_fraction_share
+    );
+    assert!(
+        (s.zero_to_one_share - 0.5).abs() < 0.1,
+        "0→1 share {} (paper: 0.5108)",
+        s.zero_to_one_share
+    );
+}
+
+#[test]
+fn obs7_losses_small_for_floats_large_for_ints() {
+    let records: Vec<_> = study().all_records().collect();
+    let f64_cdf = analysis::precision::loss_cdf(records.iter().copied(), DataType::F64);
+    if !f64_cdf.log10_cdf.is_empty() {
+        assert!(
+            f64_cdf.fraction_below(0.02) > 0.9,
+            "f64 losses below 2%: {}",
+            f64_cdf.fraction_below(0.02)
+        );
+    }
+    let i32_cdf = analysis::precision::loss_cdf(records.iter().copied(), DataType::I32);
+    if i32_cdf.log10_cdf.len() > 20 {
+        let above_100pct = 1.0 - i32_cdf.fraction_below(1.0);
+        assert!(above_100pct > 0.15, "i32 losses above 100%: {above_100pct}");
+    }
+}
+
+#[test]
+fn obs8_patterns_exist_and_are_mostly_single_flip() {
+    let records: Vec<_> = study().all_records().collect();
+    let mined = patterns::mine_patterns(records.iter().copied());
+    let with_patterns = mined
+        .iter()
+        .filter(|s| !s.patterns.is_empty() && s.n_records >= 10)
+        .count();
+    assert!(with_patterns > 5, "settings with patterns: {with_patterns}");
+    let m = patterns::flip_multiplicity(records.iter().copied(), DataType::F64);
+    assert!(m.one > 0.6, "single-flip share {}", m.one);
+    // Multi-flip SDCs exist somewhere in the corpus (Obs. 8); which
+    // datatype carries them depends on the defects' pattern draws.
+    let multi_somewhere = DataType::ALL.iter().any(|&dt| {
+        let m = patterns::flip_multiplicity(records.iter().copied(), dt);
+        m.two + m.more > 0.0
+    });
+    assert!(multi_somewhere, "multi-flip SDCs exist (Obs. 8)");
+    // "A setting could have multiple bitflip patterns in our
+    // observations" — some setting mines more than one mask.
+    assert!(
+        mined.iter().any(|s| s.patterns.len() >= 2),
+        "some setting carries multiple patterns"
+    );
+}
+
+#[test]
+fn obs9_frequency_spread() {
+    let s = reproducibility::summarize(study());
+    assert!(!s.frequencies.is_empty());
+    assert!(
+        s.max / s.min.max(1e-9) > 100.0,
+        "spread {} … {}",
+        s.min,
+        s.max
+    );
+    // The paper reports 51.2% of settings above one error per minute.
+    assert!(
+        (0.2..0.9).contains(&s.share_above_one_per_min),
+        "share above 1/min: {}",
+        s.share_above_one_per_min
+    );
+}
+
+#[test]
+fn obs11_most_testcases_never_fire() {
+    let suite = Suite::standard();
+    let s = observations::obs11_effectiveness(study(), &suite);
+    assert_eq!(s.suite_size, 633);
+    // Our generated suite is more internally redundant than the vendor's
+    // (parameter variants share density), so more testcases fire than the
+    // paper's 73; the qualitative claim — most of the suite never detects
+    // anything — holds (see EXPERIMENTS.md).
+    assert!(
+        s.ineffective >= 400,
+        "ineffective testcases {} (paper: 560)",
+        s.ineffective
+    );
+    assert!(s.effective > 20, "some testcases do fire: {}", s.effective);
+}
+
+#[test]
+fn figure3_affects_every_numeric_family() {
+    let shares = datatypes::figure3(study());
+    let affected = shares.iter().filter(|s| s.proportion > 0.0).count();
+    assert!(affected >= 6, "affected datatypes {affected}");
+}
+
+#[test]
+fn consistency_records_have_no_value_pattern() {
+    for r in study().all_records() {
+        if r.kind == SdcType::Consistency {
+            assert_eq!(r.mask(), 0, "consistency records carry no bit diff");
+        }
+    }
+}
+
+#[test]
+fn case_features_match_defect_catalog() {
+    let suite = Suite::standard();
+    let study = study();
+    // FPU-class processors implicate the FPU only.
+    for name in ["FPU1", "FPU3", "FPU4"] {
+        if let Some(case) = study.case(name) {
+            if !case.failing.is_empty() {
+                let feats = analysis::features::features_of_case(case, &suite);
+                assert_eq!(feats, vec![Feature::Fpu], "{name}: {feats:?}");
+            }
+        }
+    }
+}
