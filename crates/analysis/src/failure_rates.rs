@@ -62,6 +62,7 @@ mod tests {
         let cfg = FleetConfig {
             total_cpus: 300_000,
             seed: 5,
+            threads: 0,
         };
         let out = run_campaign(&cfg, &Suite::standard());
         let s = summarize(&out);

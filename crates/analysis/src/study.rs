@@ -8,13 +8,13 @@
 //! instruction class cannot fail), and the accelerated executor measures
 //! errors, records, and per-setting occurrence frequencies.
 
-use fleet::screening::StaticSuiteProfile;
+use fleet::screening::{StaticSuiteProfile, SuiteProfileCache};
 use sdc_model::{DetRng, Duration, SdcRecord, SettingId, TestcaseId};
 use silicon::catalog::{self, CaseStudy};
 use silicon::defect::DefectKind;
 use silicon::Processor;
-use std::collections::HashMap;
-use toolchain::{ExecConfig, Executor, Suite};
+use std::sync::Arc;
+use toolchain::{ExecConfig, Executor, ProfileCache, Suite};
 
 /// Study parameters.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +28,10 @@ pub struct StudyConfig {
     pub max_candidates: Option<usize>,
     /// Executor configuration (burn-in, temperature hold, clock).
     pub exec: ExecConfig,
+    /// Worker threads across case studies (`0` = available parallelism).
+    /// Each case's randomness is forked from its processor id, so results
+    /// are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for StudyConfig {
@@ -43,6 +47,7 @@ impl Default for StudyConfig {
                 max_records: 128,
                 ..ExecConfig::default()
             },
+            threads: 0,
         }
     }
 }
@@ -120,9 +125,24 @@ pub fn run_case(
     profiles: &StaticSuiteProfile,
     cfg: &StudyConfig,
 ) -> CaseData {
+    run_case_cached(case, suite, profiles, cfg, None)
+}
+
+/// [`run_case`] with an optional shared unit-profile cache; the study's
+/// cases overlap heavily in (testcase × core count), so sharing one cache
+/// across cases profiles each shape once. Results are identical with or
+/// without the cache.
+pub fn run_case_cached(
+    case: &CaseStudy,
+    suite: &Suite,
+    profiles: &StaticSuiteProfile,
+    cfg: &StudyConfig,
+    cache: Option<Arc<ProfileCache>>,
+) -> CaseData {
     let processor = &case.processor;
     let cores: Vec<u16> = (0..processor.physical_cores).collect();
     let mut executor = Executor::new(processor, cfg.exec);
+    executor.set_cache(cache);
     let mut rng = DetRng::new(cfg.seed).fork(processor.id.0);
 
     let mut candidates: Vec<TestcaseId> = suite
@@ -167,17 +187,21 @@ pub fn run_case(
 }
 
 /// Runs the whole 27-processor study.
+///
+/// Cases are sharded across `cfg.threads` workers; each case's randomness
+/// is a stream forked from its processor id and the shared caches are
+/// result-transparent, so the study is bitwise identical for every thread
+/// count.
 pub fn run_deep_study(cfg: &StudyConfig) -> StudyData {
     let suite = Suite::standard();
-    let mut profile_cache: HashMap<usize, StaticSuiteProfile> = HashMap::new();
-    let mut cases = Vec::new();
-    for case in catalog::deep_study_set() {
-        let cores = case.processor.physical_cores as usize;
-        let profiles = profile_cache
-            .entry(cores)
-            .or_insert_with(|| StaticSuiteProfile::build(&suite, cores));
-        cases.push(run_case(&case, &suite, profiles, cfg));
-    }
+    let suite_cache = SuiteProfileCache::new();
+    let unit_cache = ProfileCache::shared();
+    let set = catalog::deep_study_set();
+    let cases = fleet::parallel::run_indexed(&set, cfg.threads, |_, case| {
+        let profiles =
+            suite_cache.get_or_build(&suite, case.processor.physical_cores as usize, cfg.threads);
+        run_case_cached(case, &suite, &profiles, cfg, Some(Arc::clone(&unit_cache)))
+    });
     StudyData { cases }
 }
 

@@ -61,6 +61,7 @@ fn ablation_prioritization_and_burn_in(c: &mut Criterion) {
             seed: 1,
             max_candidates: None,
             exec: burn_in(),
+            threads: 0,
         },
     );
     let known = reference.failing.clone();

@@ -35,6 +35,7 @@ fn bench_rounds(c: &mut Criterion) {
             seed: 1,
             max_candidates: None,
             exec: burn_in(),
+            threads: 0,
         },
     );
     let mut book = PriorityBook::new();

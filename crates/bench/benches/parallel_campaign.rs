@@ -1,0 +1,103 @@
+//! Serial vs parallel fleet engine: wall-clock speedup and cache
+//! effectiveness.
+//!
+//! Two parts:
+//!
+//! * a one-shot comparison at ISSUE scale — a fleet sized so that about
+//!   ten thousand defective processors materialize (~26M CPUs at the
+//!   paper's prevalence) — run once serially and once with all available
+//!   cores, cross-checked for bitwise equality, and written to
+//!   `BENCH_parallel.json` at the repo root;
+//! * criterion benches of the campaign at 300k CPUs for each thread
+//!   count, for regression tracking.
+//!
+//! The speedup is only meaningful on multi-core hardware; the artifact
+//! records `available_cores` so single-core CI runs are honest about it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fleet::parallel::resolve_threads;
+use fleet::{run_campaign_on, FleetConfig, FleetPopulation};
+use std::time::Instant;
+use toolchain::Suite;
+
+/// ~26M CPUs materialize ~10k defective processors at the paper's
+/// prevalence of a few per ten thousand.
+const ARTIFACT_FLEET: u64 = 26_000_000;
+
+fn artifact(suite: &Suite) {
+    let mut cfg = FleetConfig {
+        total_cpus: ARTIFACT_FLEET,
+        seed: 2021,
+        threads: 1,
+    };
+    let pop = FleetPopulation::sample(&cfg);
+
+    let t = Instant::now();
+    let serial = run_campaign_on(&cfg, suite, &pop);
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    let threads = resolve_threads(0);
+    cfg.threads = threads;
+    let t = Instant::now();
+    let parallel = run_campaign_on(&cfg, suite, &pop);
+    let parallel_secs = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial.fates, parallel.fates,
+        "parallel campaign must be bitwise identical to serial"
+    );
+    let stats = parallel.suite_cache;
+    let speedup = serial_secs / parallel_secs;
+    eprintln!(
+        "[parallel_campaign] {} defective CPUs: serial {serial_secs:.2}s, \
+         {threads}-thread {parallel_secs:.2}s ({speedup:.2}x), \
+         suite-profile cache hit rate {:.4}",
+        pop.defective.len(),
+        stats.hit_rate()
+    );
+
+    let json = format!(
+        "{{\n  \"fleet_cpus\": {},\n  \"defective_cpus\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"threads\": {},\n  \"available_cores\": {},\n  \"speedup\": {:.4},\n  \"results_identical\": true,\n  \"suite_profile_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.6}\n  }}\n}}\n",
+        pop.total(),
+        pop.defective.len(),
+        serial_secs,
+        parallel_secs,
+        threads,
+        resolve_threads(0),
+        speedup,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, json).expect("write BENCH_parallel.json");
+    eprintln!("[parallel_campaign] wrote {path}");
+}
+
+fn bench_campaign_by_threads(c: &mut Criterion) {
+    let suite = Suite::standard();
+    artifact(&suite);
+
+    let cfg = FleetConfig {
+        total_cpus: 300_000,
+        seed: 2021,
+        threads: 1,
+    };
+    let pop = FleetPopulation::sample(&cfg);
+    let mut group = c.benchmark_group("fleet/parallel_campaign_300k");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, resolve_threads(0)] {
+        let cfg = FleetConfig { threads, ..cfg };
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| run_campaign_on(&cfg, &suite, &pop))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campaign_by_threads
+}
+criterion_main!(benches);

@@ -13,6 +13,7 @@ fn bench_population(c: &mut Criterion) {
             let cfg = FleetConfig {
                 total_cpus: 100_000,
                 seed: 7,
+                threads: 0,
             };
             FleetPopulation::sample(&cfg)
         })
@@ -45,6 +46,7 @@ fn bench_campaign(c: &mut Criterion) {
         &FleetConfig {
             total_cpus: 300_000,
             seed: 2021,
+            threads: 0,
         },
         &suite,
     );
@@ -64,6 +66,7 @@ fn bench_campaign(c: &mut Criterion) {
                 &FleetConfig {
                     total_cpus: 300_000,
                     seed: 2021,
+                    threads: 0,
                 },
                 &suite,
             )

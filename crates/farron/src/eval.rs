@@ -17,12 +17,12 @@ use crate::baseline::Baseline;
 use crate::online::{simulate_online, AppProfile, OnlineConfig};
 use crate::priority::PriorityBook;
 use crate::schedule::FarronScheduler;
-use analysis::study::{run_case, StudyConfig};
-use fleet::screening::StaticSuiteProfile;
+use analysis::study::{run_case_cached, StudyConfig};
+use fleet::screening::SuiteProfileCache;
 use sdc_model::{DetRng, Duration, Feature, TestcaseId};
 use silicon::catalog;
-use std::collections::HashMap;
-use toolchain::{framework, ExecConfig, Suite};
+use std::sync::Arc;
+use toolchain::{framework, ExecConfig, ProfileCache, Suite};
 
 /// Evaluation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +35,10 @@ pub struct EvalConfig {
     pub online_duration: Duration,
     /// Independent regular rounds averaged into each coverage figure.
     pub rounds: usize,
+    /// Worker threads across evaluated processors (`0` = available
+    /// parallelism). Each processor's randomness is forked from its name,
+    /// so rows are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -44,6 +48,7 @@ impl Default for EvalConfig {
             seed: 711,
             online_duration: Duration::from_hours(6),
             rounds: 4,
+            threads: 0,
         }
     }
 }
@@ -90,32 +95,36 @@ fn burn_in_exec() -> ExecConfig {
 }
 
 /// Runs the full evaluation.
+///
+/// Processors are sharded across `cfg.threads` workers; each one's
+/// randomness is forked from its name and the shared caches are
+/// result-transparent, so the rows are identical for every thread count.
 pub fn evaluate(cfg: &EvalConfig) -> Vec<EvalRow> {
     let suite = Suite::standard();
     let baseline = Baseline::default();
     let scheduler = FarronScheduler::default();
-    let mut profile_cache: HashMap<usize, StaticSuiteProfile> = HashMap::new();
-    let mut rows = Vec::new();
+    let suite_cache = SuiteProfileCache::new();
+    let unit_cache = ProfileCache::shared();
 
-    for name in EVAL_NAMES {
+    fleet::parallel::run_indexed(&EVAL_NAMES, cfg.threads, |_, &name| {
         let case = catalog::by_name(name).expect("catalog name");
         let processor = &case.processor;
         let n_cores = processor.physical_cores as usize;
-        let profiles = profile_cache
-            .entry(n_cores)
-            .or_insert_with(|| StaticSuiteProfile::build(&suite, n_cores));
+        let profiles = suite_cache.get_or_build(&suite, n_cores, cfg.threads);
 
         // 1. Adequate reference study → known errors.
-        let reference = run_case(
+        let reference = run_case_cached(
             &case,
             &suite,
-            profiles,
+            &profiles,
             &StudyConfig {
                 per_testcase: cfg.reference_per_testcase,
                 seed: cfg.seed,
                 max_candidates: None,
                 exec: burn_in_exec(),
+                threads: 1,
             },
+            Some(Arc::clone(&unit_cache)),
         );
         let known: Vec<TestcaseId> = reference.failing.clone();
 
@@ -146,8 +155,14 @@ pub fn evaluate(cfg: &EvalConfig) -> Vec<EvalRow> {
         let mut baseline_cov_sum = 0.0;
         for round in 0..cfg.rounds.max(1) {
             let mut rng = DetRng::new(cfg.seed + round as u64).fork_str(name);
-            let farron_report =
-                framework::run_plan(processor, &suite, &farron_plan, burn_in_exec(), &mut rng);
+            let farron_report = framework::run_plan_cached(
+                processor,
+                &suite,
+                &farron_plan,
+                burn_in_exec(),
+                &mut rng,
+                Some(Arc::clone(&unit_cache)),
+            );
             farron_cov_sum += farron_report
                 .failing_testcases()
                 .iter()
@@ -155,12 +170,13 @@ pub fn evaluate(cfg: &EvalConfig) -> Vec<EvalRow> {
                 .count() as f64
                 / known_n as f64;
             let mut rng_b = DetRng::new(cfg.seed ^ 0xb ^ round as u64).fork_str(name);
-            let baseline_report = framework::run_plan(
+            let baseline_report = framework::run_plan_cached(
                 processor,
                 &suite,
                 &baseline_plan,
                 ExecConfig::default(),
                 &mut rng_b,
+                Some(Arc::clone(&unit_cache)),
             );
             baseline_cov_sum += baseline_report
                 .failing_testcases()
@@ -209,7 +225,7 @@ pub fn evaluate(cfg: &EvalConfig) -> Vec<EvalRow> {
         );
 
         let cadence_secs = baseline.cadence.as_secs_f64();
-        rows.push(EvalRow {
+        EvalRow {
             name,
             known_errors: known.len(),
             farron_coverage: farron_cov_sum / rounds,
@@ -221,14 +237,15 @@ pub fn evaluate(cfg: &EvalConfig) -> Vec<EvalRow> {
             baseline_test_overhead: baseline.test_overhead(&suite),
             backoff_secs_per_hour: online.backoff_secs_per_hour,
             protected_sdc_events: online.sdc_events,
-        });
-    }
-    rows
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use analysis::study::run_case;
+    use fleet::screening::StaticSuiteProfile;
 
     /// One processor end to end (the full six run in the bench harness).
     #[test]
@@ -245,6 +262,7 @@ mod tests {
                 seed: 5,
                 max_candidates: None,
                 exec: burn_in_exec(),
+                threads: 1,
             },
         );
         assert!(!reference.failing.is_empty());

@@ -8,6 +8,7 @@ fn main() {
     let cfg = fleet::FleetConfig {
         total_cpus: 1_050_000,
         seed: 2021,
+        threads: 0,
     };
     let out = fleet::run_campaign(&cfg, &toolchain::Suite::standard());
     for (l, r) in out.table1() {

@@ -2,10 +2,11 @@
 
 use crate::lifecycle::{Stage, StageSpec};
 use crate::population::{FleetConfig, FleetPopulation};
-use crate::screening::{stage_detection_probability, StaticSuiteProfile};
+use crate::screening::{stage_detection_probability, SuiteProfileCache};
 use sdc_model::{ArchId, DetRng};
+use silicon::Processor;
 use std::collections::HashMap;
-use toolchain::Suite;
+use toolchain::{CacheStats, Suite};
 
 /// Samples the age (years after factory delivery) at which a defect
 /// starts producing errors.
@@ -46,8 +47,12 @@ pub struct CampaignOutcome {
     pub total_cpus: u64,
     /// Packages per architecture.
     pub per_arch_total: Vec<(ArchId, u64)>,
-    /// (architecture, fate) of every defective package.
+    /// (architecture, fate) of every defective package, in population
+    /// order — identical for every thread count.
     pub fates: Vec<(ArchId, Fate)>,
+    /// Suite-profile cache counters: one miss per distinct package core
+    /// count, a hit for every other defective processor.
+    pub suite_cache: CacheStats,
 }
 
 impl CampaignOutcome {
@@ -128,53 +133,74 @@ impl CampaignOutcome {
 /// defective processor then walks the lifecycle, getting caught at a
 /// stage with the screening probability (regular testing is applied once
 /// per three-month round of the processor's age).
+///
+/// Defective processors are sharded across `cfg.threads` workers
+/// ([`crate::parallel::run_indexed`]); each processor's randomness is a
+/// stream forked from `(cfg.seed, processor id)`, so the outcome is
+/// bitwise identical for every thread count.
 pub fn run_campaign(cfg: &FleetConfig, suite: &Suite) -> CampaignOutcome {
     let pop = FleetPopulation::sample(cfg);
+    run_campaign_on(cfg, suite, &pop)
+}
+
+/// [`run_campaign`] over an already-sampled population (lets callers
+/// reuse one fleet across serial/parallel comparison runs).
+pub fn run_campaign_on(cfg: &FleetConfig, suite: &Suite, pop: &FleetPopulation) -> CampaignOutcome {
     let pipeline = StageSpec::default_pipeline();
     let clock_hz = 1e7;
-    let mut rng = DetRng::new(cfg.seed).fork_str("fleet-campaign");
-    let mut profile_cache: HashMap<usize, StaticSuiteProfile> = HashMap::new();
+    let root = DetRng::new(cfg.seed).fork_str("fleet-campaign");
+    let profile_cache = SuiteProfileCache::new();
 
-    let mut fates = Vec::with_capacity(pop.defective.len());
-    for processor in &pop.defective {
-        let cores = processor.physical_cores as usize;
-        let profiles = profile_cache
-            .entry(cores)
-            .or_insert_with(|| StaticSuiteProfile::build(suite, cores));
-        let activation = sample_activation_age(&mut rng);
-        let mut fate = Fate::Escaped;
-        'life: for spec in &pipeline {
-            if spec.stage == Stage::Regular {
-                // One round every three months for the processor's life.
-                for round in 0..StageSpec::regular_rounds(processor.age_years) {
-                    let round_age = spec.age_years + 0.25 * round as f64;
-                    if round_age < activation {
-                        continue;
-                    }
-                    let p = stage_detection_probability(processor, suite, profiles, spec, clock_hz);
-                    if rng.chance(p) {
-                        fate = Fate::Caught(Stage::Regular, round);
-                        break 'life;
-                    }
-                }
-            } else {
-                if spec.age_years < activation {
+    let fates = crate::parallel::run_indexed(&pop.defective, cfg.threads, |_, processor| {
+        let mut rng = root.fork(processor.id.0);
+        let profiles =
+            profile_cache.get_or_build(suite, processor.physical_cores as usize, cfg.threads);
+        let fate = processor_fate(processor, suite, &profiles, &pipeline, clock_hz, &mut rng);
+        (processor.arch, fate)
+    });
+    CampaignOutcome {
+        total_cpus: pop.total(),
+        per_arch_total: pop.per_arch_total.clone(),
+        fates,
+        suite_cache: profile_cache.stats(),
+    }
+}
+
+/// Walks one defective processor through the lifecycle; `rng` is its
+/// private stream.
+fn processor_fate(
+    processor: &Processor,
+    suite: &Suite,
+    profiles: &crate::screening::StaticSuiteProfile,
+    pipeline: &[StageSpec],
+    clock_hz: f64,
+    rng: &mut DetRng,
+) -> Fate {
+    let activation = sample_activation_age(rng);
+    for spec in pipeline {
+        if spec.stage == Stage::Regular {
+            // One round every three months for the processor's life.
+            for round in 0..StageSpec::regular_rounds(processor.age_years) {
+                let round_age = spec.age_years + 0.25 * round as f64;
+                if round_age < activation {
                     continue;
                 }
                 let p = stage_detection_probability(processor, suite, profiles, spec, clock_hz);
                 if rng.chance(p) {
-                    fate = Fate::Caught(spec.stage, 0);
-                    break 'life;
+                    return Fate::Caught(Stage::Regular, round);
                 }
             }
+        } else {
+            if spec.age_years < activation {
+                continue;
+            }
+            let p = stage_detection_probability(processor, suite, profiles, spec, clock_hz);
+            if rng.chance(p) {
+                return Fate::Caught(spec.stage, 0);
+            }
         }
-        fates.push((processor.arch, fate));
     }
-    CampaignOutcome {
-        total_cpus: pop.total(),
-        per_arch_total: pop.per_arch_total,
-        fates,
-    }
+    Fate::Escaped
 }
 
 #[cfg(test)]
@@ -186,6 +212,7 @@ mod tests {
         let cfg = FleetConfig {
             total_cpus: 400_000,
             seed: 2021,
+            threads: 2,
         };
         run_campaign(&cfg, &Suite::standard())
     }
@@ -259,5 +286,37 @@ mod tests {
         let a = small_campaign();
         let b = small_campaign();
         assert_eq!(a.fates, b.fates);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_fates() {
+        let suite = Suite::standard();
+        let mut cfg = FleetConfig {
+            total_cpus: 150_000,
+            seed: 77,
+            threads: 1,
+        };
+        let pop = FleetPopulation::sample(&cfg);
+        let serial = run_campaign_on(&cfg, &suite, &pop);
+        cfg.threads = 4;
+        let parallel = run_campaign_on(&cfg, &suite, &pop);
+        assert_eq!(serial.fates, parallel.fates);
+        assert_eq!(serial.total_cpus, parallel.total_cpus);
+        assert_eq!(serial.per_arch_total, parallel.per_arch_total);
+    }
+
+    #[test]
+    fn suite_cache_builds_once_per_core_count() {
+        let out = small_campaign();
+        let s = out.suite_cache;
+        let shapes = s.entries as u64;
+        assert!(shapes >= 1);
+        assert_eq!(s.misses, shapes, "one build per distinct core count");
+        assert_eq!(
+            s.hits + s.misses,
+            out.fates.len() as u64,
+            "one lookup per defective processor"
+        );
+        assert!(s.hit_rate() > 0.9, "hit rate {}", s.hit_rate());
     }
 }

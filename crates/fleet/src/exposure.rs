@@ -77,6 +77,7 @@ mod tests {
             &FleetConfig {
                 total_cpus: 400_000,
                 seed: 2021,
+                threads: 0,
             },
             &Suite::standard(),
         );
@@ -104,6 +105,7 @@ mod tests {
             total_cpus: 0,
             per_arch_total: vec![],
             fates: vec![],
+            suite_cache: Default::default(),
         };
         assert_eq!(exposure_report(&out), ExposureReport::default());
     }

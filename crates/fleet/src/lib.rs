@@ -20,11 +20,13 @@
 pub mod campaign;
 pub mod exposure;
 pub mod lifecycle;
+pub mod parallel;
 pub mod population;
 pub mod screening;
 
-pub use campaign::{run_campaign, CampaignOutcome, Fate};
+pub use campaign::{run_campaign, run_campaign_on, CampaignOutcome, Fate};
 pub use exposure::{exposure_report, ExposureReport};
 pub use lifecycle::{Stage, StageSpec};
+pub use parallel::{resolve_threads, run_indexed};
 pub use population::{FleetConfig, FleetPopulation};
-pub use screening::{stage_detection_probability, StaticSuiteProfile};
+pub use screening::{stage_detection_probability, StaticSuiteProfile, SuiteProfileCache};

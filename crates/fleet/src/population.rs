@@ -16,6 +16,9 @@ pub struct FleetConfig {
     pub total_cpus: u64,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads for the campaign (`0` = available parallelism).
+    /// Results are bitwise identical for every value.
+    pub threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -23,6 +26,7 @@ impl Default for FleetConfig {
         FleetConfig {
             total_cpus: 1_050_000,
             seed: 2021,
+            threads: 0,
         }
     }
 }
@@ -116,6 +120,7 @@ mod tests {
         let cfg = FleetConfig {
             total_cpus: 100_000,
             seed: 7,
+            threads: 0,
         };
         let pop = FleetPopulation::sample(&cfg);
         assert!(pop.total() < 150_000);

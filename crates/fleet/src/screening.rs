@@ -15,8 +15,10 @@ use silicon::defect::DefectKind;
 use silicon::Processor;
 use softcore::{Inst, InstClass, Program};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use thermal::{ThermalConfig, ThermalModel};
-use toolchain::{builders, Suite, Testcase};
+use toolchain::{builders, CacheStats, Suite, Testcase};
 
 /// Static profile of one testcase instantiated on a given core count.
 #[derive(Debug, Clone)]
@@ -150,12 +152,21 @@ pub struct StaticSuiteProfile {
 impl StaticSuiteProfile {
     /// Profiles every testcase of `suite` for `machine_cores` cores.
     pub fn build(suite: &Suite, machine_cores: usize) -> StaticSuiteProfile {
+        StaticSuiteProfile::build_threaded(suite, machine_cores, 1)
+    }
+
+    /// [`StaticSuiteProfile::build`] sharded across `threads` workers
+    /// (`0` = available parallelism). Profiling walks programs with no
+    /// randomness, so the result is identical for every thread count.
+    pub fn build_threaded(
+        suite: &Suite,
+        machine_cores: usize,
+        threads: usize,
+    ) -> StaticSuiteProfile {
         StaticSuiteProfile {
-            profiles: suite
-                .testcases()
-                .iter()
-                .map(|tc| StaticProfile::of(tc, machine_cores))
-                .collect(),
+            profiles: crate::parallel::run_indexed(suite.testcases(), threads, |_, tc| {
+                StaticProfile::of(tc, machine_cores)
+            }),
             cores: machine_cores,
         }
     }
@@ -168,6 +179,84 @@ impl StaticSuiteProfile {
     /// Core count these profiles were built for.
     pub fn cores(&self) -> usize {
         self.cores
+    }
+}
+
+/// Shared, thread-safe memoization of [`StaticSuiteProfile`]s by core
+/// count.
+///
+/// A campaign's workers all need the suite profile for each package
+/// shape; this cache builds each one once — same lock discipline as
+/// `toolchain`'s unit-profile cache (mutex for bookkeeping only, the
+/// expensive build runs outside the lock in a per-key `OnceLock`).
+#[derive(Default)]
+pub struct SuiteProfileCache {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inner: Mutex<HashMap<usize, Arc<OnceLock<Arc<StaticSuiteProfile>>>>>,
+}
+
+impl std::fmt::Debug for SuiteProfileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteProfileCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SuiteProfileCache {
+    /// An empty cache.
+    pub fn new() -> SuiteProfileCache {
+        SuiteProfileCache::default()
+    }
+
+    /// The suite profile for `machine_cores`, built on first use with
+    /// `build_threads` workers. Concurrent callers asking for the same
+    /// core count build once; the rest block on the entry.
+    pub fn get_or_build(
+        &self,
+        suite: &Suite,
+        machine_cores: usize,
+        build_threads: usize,
+    ) -> Arc<StaticSuiteProfile> {
+        let slot = {
+            let mut inner = self.inner.lock().expect("suite profile cache poisoned");
+            match inner.get(&machine_cores) {
+                Some(slot) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    slot.clone()
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::new(OnceLock::new());
+                    inner.insert(machine_cores, Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        slot.get_or_init(|| {
+            Arc::new(StaticSuiteProfile::build_threaded(
+                suite,
+                machine_cores,
+                build_threads,
+            ))
+        })
+        .clone()
+    }
+
+    /// Current counters (evictions are always zero: core counts are
+    /// few, so this cache never evicts).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: 0,
+            entries: self
+                .inner
+                .lock()
+                .expect("suite profile cache poisoned")
+                .len(),
+        }
     }
 }
 

@@ -96,7 +96,7 @@ proptest! {
 
     #[test]
     fn population_scales_with_fleet_size(size in 20_000u64..200_000, seed in any::<u64>()) {
-        let pop = FleetPopulation::sample(&FleetConfig { total_cpus: size, seed });
+        let pop = FleetPopulation::sample(&FleetConfig { total_cpus: size, seed, threads: 0 });
         prop_assert!(pop.total() >= size * 9 / 10);
         // Prevalence is a few per ten thousand; allow generous slack.
         let rate = pop.defective.len() as f64 / pop.total() as f64;

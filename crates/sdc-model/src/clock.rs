@@ -157,6 +157,8 @@ impl fmt::Display for Duration {
     }
 }
 
+serde::impl_json_struct!(Duration { micros });
+
 /// A monotonically advancing virtual clock.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct VirtualClock {

@@ -100,6 +100,17 @@ impl SdcRecord {
     }
 }
 
+serde::impl_json_unit_enum!(FlipDirection { ZeroToOne, OneToZero });
+serde::impl_json_struct!(SdcRecord {
+    setting,
+    kind,
+    datatype,
+    expected,
+    actual,
+    temp_c,
+    at,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,7 @@
 //! the ground-truth path used to validate the accelerated model.
 
 use crate::builders;
+use crate::cache::{CachedUnitProfile, ProfileCache, ProfileKey};
 use crate::profile::Profiler;
 use crate::testcase::{CheckKind, Invariant, OutputRegion, Testcase};
 use rand::RngCore as _;
@@ -22,6 +23,7 @@ use sdc_model::{CoreId, DataType, DetRng, Duration, SdcRecord, SdcType, SettingI
 use silicon::defect::DefectKind;
 use silicon::{Injector, Processor};
 use softcore::{InstClass, Machine, NoFaults};
+use std::sync::Arc;
 use thermal::{ThermalConfig, ThermalModel};
 
 /// Executor configuration.
@@ -67,7 +69,7 @@ impl Default for ExecConfig {
 }
 
 /// Result of one testcase run on one processor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestcaseRun {
     /// The testcase executed.
     pub testcase: sdc_model::TestcaseId,
@@ -106,7 +108,7 @@ impl TestcaseRun {
 
 /// Per-(class, datatype) site rates for one machine core.
 #[derive(Debug, Clone, Default)]
-struct CoreProfile {
+pub(crate) struct CoreProfile {
     /// (class, dt) → retired results per second.
     site_rates: Vec<((InstClass, DataType), f64)>,
     /// Average energy per cycle (thermal power proxy).
@@ -127,6 +129,8 @@ pub struct Executor<'p> {
     /// Virtual wall clock (persists across runs).
     pub clock: VirtualClock,
     cfg: ExecConfig,
+    /// Shared unit-profile memoization; `None` computes every profile.
+    cache: Option<Arc<ProfileCache>>,
 }
 
 impl<'p> Executor<'p> {
@@ -137,7 +141,22 @@ impl<'p> Executor<'p> {
             thermal: ThermalModel::new(processor.physical_cores as usize, ThermalConfig::default()),
             clock: VirtualClock::new(),
             cfg,
+            cache: None,
         }
+    }
+
+    /// A fresh executor sharing `cache` for unit profiles. Profiling
+    /// streams are derived from the cache key, so results are bitwise
+    /// identical with or without a cache.
+    pub fn with_cache(processor: &'p Processor, cfg: ExecConfig, cache: Arc<ProfileCache>) -> Self {
+        let mut e = Executor::new(processor, cfg);
+        e.cache = Some(cache);
+        e
+    }
+
+    /// Attaches (or detaches) a shared unit-profile cache.
+    pub fn set_cache(&mut self, cache: Option<Arc<ProfileCache>>) {
+        self.cache = cache;
     }
 
     /// The active configuration.
@@ -150,61 +169,17 @@ impl<'p> Executor<'p> {
         self.cfg = cfg;
     }
 
-    /// Profiles one unit of `tc` on the VM. Returns per-machine-core
-    /// profiles, the unit wall time in seconds, and the profiler (whose
-    /// bit samples feed record materialization).
-    fn profile_unit(
-        &self,
-        tc: &Testcase,
-        cores: &[u16],
-        rng: &mut DetRng,
-    ) -> (Vec<CoreProfile>, f64, Profiler) {
-        let built = builders::build(tc, cores.len(), self.cfg.unit_iters, rng.next_u64());
-        let mut machine = Machine::new(cores.len(), built.mem_bytes);
-        for &(addr, val) in &built.mem_init {
-            machine.mem.raw_write_u64(addr, val);
+    /// Profiles one unit of `tc` on the VM (through the shared cache when
+    /// one is attached). The profile is a pure function of the
+    /// [`ProfileKey`] — the RNG driving the unit run is derived from the
+    /// key, not from the caller's stream — so every executor observes the
+    /// same profile for the same key.
+    fn profile_unit(&self, tc: &Testcase, cores: &[u16]) -> Arc<CachedUnitProfile> {
+        let key = ProfileKey::of(tc.id, cores.len(), &self.cfg);
+        match &self.cache {
+            Some(cache) => cache.get_or_compute(key, || compute_unit_profile(tc, key, &self.cfg)),
+            None => Arc::new(compute_unit_profile(tc, key, &self.cfg)),
         }
-        let mut loaded = 0usize;
-        for (c, p) in built.programs.iter().enumerate() {
-            if let Some(p) = p {
-                machine.load(c, p.clone());
-                loaded += 1;
-            }
-        }
-        let mut profiler = Profiler::new(rng.fork(0x9821));
-        let mut interleave = rng.fork(0x77aa);
-        let out = machine.run(&mut profiler, &mut interleave, self.cfg.max_unit_steps);
-        assert!(
-            out.completed,
-            "unit run of {} exceeded the step budget",
-            tc.name
-        );
-        let unit_secs = (out.cycles.max(1)) as f64 / self.cfg.clock_hz;
-        let mut profiles = vec![CoreProfile::default(); cores.len()];
-        for (&(core, class, dt), &count) in profiler.counts() {
-            profiles[core]
-                .site_rates
-                .push(((class, dt), count as f64 / unit_secs));
-        }
-        for (c, profile) in profiles.iter_mut().enumerate() {
-            profile.site_rates.sort_by_key(|a| a.0);
-            profile.power = match machine.cycles[c] {
-                0 => 0.0,
-                cycles => machine.energy[c] / cycles as f64,
-            };
-            let (commits, aborts) = machine.core(c).tx_stats();
-            // Conflicted-commit opportunities: observed aborts, floored at
-            // a small share of commits (conflicts the golden interleaving
-            // happened to miss).
-            let conflicts = (aborts as f64).max(commits as f64 * 0.05);
-            profile.tx_conflicts_per_sec = conflicts / unit_secs;
-            profile.invalidations_per_sec = if loaded > 0 {
-                machine.mem.stats.invalidations as f64 / loaded as f64 / unit_secs
-            } else {
-                0.0
-            };
-        }
-        (profiles, unit_secs, profiler)
     }
 
     /// Accelerated run of `tc` on physical `cores` for `duration`.
@@ -225,7 +200,9 @@ impl<'p> Executor<'p> {
             cores.iter().all(|&c| c < self.processor.physical_cores),
             "core out of range"
         );
-        let (profiles, _unit_secs, sampler_samples) = self.profile_unit(tc, cores, rng);
+        let unit = self.profile_unit(tc, cores);
+        let profiles = &unit.profiles;
+        let sampler_samples = &unit.profiler;
 
         if let Some(t) = self.cfg.preheat_c {
             self.thermal.preheat(t);
@@ -525,6 +502,64 @@ impl<'p> Executor<'p> {
             mean_temp_c: temp,
             max_temp_c: temp,
         }
+    }
+}
+
+/// Runs one unit of `tc` in the VM under a profiler and condenses the
+/// result into a [`CachedUnitProfile`]. All randomness comes from
+/// [`ProfileKey::stream`], making the result a pure function of
+/// `(tc, key, cfg)`.
+fn compute_unit_profile(tc: &Testcase, key: ProfileKey, cfg: &ExecConfig) -> CachedUnitProfile {
+    let mut rng = key.stream();
+    let built = builders::build(tc, key.cores, cfg.unit_iters, rng.next_u64());
+    let mut machine = Machine::new(key.cores, built.mem_bytes);
+    for &(addr, val) in &built.mem_init {
+        machine.mem.raw_write_u64(addr, val);
+    }
+    let mut loaded = 0usize;
+    for (c, p) in built.programs.iter().enumerate() {
+        if let Some(p) = p {
+            machine.load(c, p.clone());
+            loaded += 1;
+        }
+    }
+    let mut profiler = Profiler::new(rng.fork(0x9821));
+    let mut interleave = rng.fork(0x77aa);
+    let out = machine.run(&mut profiler, &mut interleave, cfg.max_unit_steps);
+    assert!(
+        out.completed,
+        "unit run of {} exceeded the step budget",
+        tc.name
+    );
+    let unit_secs = (out.cycles.max(1)) as f64 / cfg.clock_hz;
+    let mut profiles = vec![CoreProfile::default(); key.cores];
+    for (&(core, class, dt), &count) in profiler.counts() {
+        profiles[core]
+            .site_rates
+            .push(((class, dt), count as f64 / unit_secs));
+    }
+    for (c, profile) in profiles.iter_mut().enumerate() {
+        profile.site_rates.sort_by_key(|a| a.0);
+        profile.power = match machine.cycles[c] {
+            0 => 0.0,
+            cycles => machine.energy[c] / cycles as f64,
+        };
+        let (commits, aborts) = machine.core(c).tx_stats();
+        // Conflicted-commit opportunities: observed aborts, floored at
+        // a small share of commits (conflicts the golden interleaving
+        // happened to miss).
+        let conflicts = (aborts as f64).max(commits as f64 * 0.05);
+        profile.tx_conflicts_per_sec = conflicts / unit_secs;
+        profile.invalidations_per_sec = if loaded > 0 {
+            machine.mem.stats.invalidations as f64 / loaded as f64 / unit_secs
+        } else {
+            0.0
+        };
+    }
+    CachedUnitProfile {
+        profiles,
+        unit_secs,
+        profiler,
     }
 }
 

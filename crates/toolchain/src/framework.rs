@@ -107,8 +107,23 @@ pub fn run_plan(
     cfg: ExecConfig,
     rng: &mut DetRng,
 ) -> TestReport {
+    run_plan_cached(processor, suite, plan, cfg, rng, None)
+}
+
+/// [`run_plan`] with an optional shared unit-profile cache; repeated
+/// rounds of the same plan then profile each (testcase × shape) once.
+/// Results are identical with or without the cache.
+pub fn run_plan_cached(
+    processor: &Processor,
+    suite: &Suite,
+    plan: &TestPlan,
+    cfg: ExecConfig,
+    rng: &mut DetRng,
+    cache: Option<std::sync::Arc<crate::cache::ProfileCache>>,
+) -> TestReport {
     let cores: Vec<u16> = (0..processor.physical_cores).collect();
     let mut executor = Executor::new(processor, cfg);
+    executor.set_cache(cache);
     let mut runs = Vec::with_capacity(plan.entries.len());
     for entry in &plan.entries {
         let tc = suite.get(entry.testcase);

@@ -22,13 +22,15 @@
 //! minute defect over simulated weeks.
 
 pub mod builders;
+pub mod cache;
 pub mod executor;
 pub mod framework;
 pub mod profile;
 pub mod suite;
 pub mod testcase;
 
+pub use cache::{CacheStats, ProfileCache, ProfileKey};
 pub use executor::{ExecConfig, Executor, TestcaseRun};
-pub use framework::{PlanEntry, TestPlan, TestReport};
+pub use framework::{run_plan, run_plan_cached, PlanEntry, TestPlan, TestReport};
 pub use suite::Suite;
 pub use testcase::{BuiltTestcase, CheckKind, Invariant, OutputRegion, Testcase, WorkloadKind};

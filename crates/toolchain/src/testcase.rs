@@ -112,6 +112,23 @@ pub enum WorkloadSpec {
     },
 }
 
+serde::impl_json_enum_struct!(WorkloadSpec {
+    IntLoop { dt, family, unroll },
+    BigInt { limbs },
+    StringScan { words },
+    Crc { words },
+    Hash { words },
+    FloatLoop { f32_prec, family, unroll },
+    AtanLoop { f32_prec },
+    X87Loop { atan },
+    MatKernel { lane, rows },
+    Axpy { lane, blocks },
+    VecParity { blocks },
+    LockCounter { rounds, dilution },
+    ProducerConsumer { words, dilution },
+    TxCounter { rounds, dilution },
+});
+
 /// One toolchain testcase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Testcase {

@@ -1,0 +1,63 @@
+//! The unit-profile cache is result-transparent: an executor with a
+//! shared [`toolchain::ProfileCache`] produces bitwise-identical
+//! [`toolchain::TestcaseRun`]s to one without, because the profiling RNG
+//! is derived from the cache key rather than the caller's stream.
+
+use sdc_model::{DetRng, Duration};
+use silicon::catalog;
+use std::sync::Arc;
+use toolchain::{ExecConfig, Executor, ProfileCache, Suite};
+
+/// Runs a handful of testcases twice (so the second pass hits the cache)
+/// and returns every run.
+fn run_series(cache: Option<Arc<ProfileCache>>) -> Vec<toolchain::TestcaseRun> {
+    let suite = Suite::standard();
+    let simd1 = catalog::by_name("SIMD1").expect("catalog").processor;
+    let cores: Vec<u16> = (0..simd1.physical_cores).collect();
+    let mut executor = Executor::new(&simd1, ExecConfig::default());
+    executor.set_cache(cache);
+    let mut rng = DetRng::new(404);
+    let picks = [0u32, 140, 300, 450, 560, 0, 140, 300];
+    picks
+        .iter()
+        .map(|&i| {
+            let tc = suite.get(sdc_model::TestcaseId(i));
+            executor.run(tc, &cores, Duration::from_secs(30), &mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn cached_runs_are_bitwise_identical_to_uncached() {
+    let cache = ProfileCache::shared();
+    let cached = run_series(Some(Arc::clone(&cache)));
+    let uncached = run_series(None);
+    assert_eq!(cached, uncached);
+
+    let stats = cache.stats();
+    // Five distinct testcases, three repeated → 5 misses, 3 hits.
+    assert_eq!(stats.misses, 5);
+    assert_eq!(stats.hits, 3);
+    assert!(stats.hit_rate() > 0.3);
+}
+
+#[test]
+fn cache_is_shared_between_executors() {
+    let suite = Suite::standard();
+    let simd1 = catalog::by_name("SIMD1").expect("catalog").processor;
+    let cores: Vec<u16> = (0..simd1.physical_cores).collect();
+    let tc = suite.get(sdc_model::TestcaseId(300));
+    let cache = ProfileCache::shared();
+
+    let run_with_fresh_executor = |cache: Arc<ProfileCache>, seed: u64| {
+        let mut executor = Executor::with_cache(&simd1, ExecConfig::default(), cache);
+        let mut rng = DetRng::new(seed);
+        executor.run(tc, &cores, Duration::from_secs(30), &mut rng)
+    };
+    let a = run_with_fresh_executor(Arc::clone(&cache), 1);
+    let b = run_with_fresh_executor(Arc::clone(&cache), 1);
+    assert_eq!(a, b);
+    // The second executor reused the first one's profile.
+    assert_eq!(cache.stats().misses, 1);
+    assert_eq!(cache.stats().hits, 1);
+}

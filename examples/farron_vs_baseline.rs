@@ -39,6 +39,7 @@ fn main() {
                 stress_idle_cores: true,
                 ..Default::default()
             },
+            threads: 0,
         },
     );
     println!(

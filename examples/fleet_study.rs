@@ -13,6 +13,7 @@ fn main() {
     let cfg = fleet::FleetConfig {
         total_cpus: 400_000,
         seed: 2021,
+        threads: 0,
     };
     println!("sampling a fleet of {} processors…", cfg.total_cpus);
     let outcome = fleet::run_campaign(&cfg, &suite);

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): release build, the root test
+# suite, and the parallel-determinism integration tests. Run from
+# anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root test suite =="
+cargo test -q
+
+echo "== tier-1: parallel determinism (threads=1 vs threads=8) =="
+cargo test -q --release --test parallel_determinism
+
+echo "tier-1: OK"

@@ -24,18 +24,32 @@ use toolchain::Suite;
 
 struct Opts {
     quick: bool,
+    threads: usize,
     artifacts: Vec<String>,
 }
 
 fn parse_args() -> Opts {
     let mut quick = false;
+    let mut threads = 0usize;
     let mut artifacts = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                });
+                threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [all|table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig11|obs|ftol]..."
+                    "usage: repro [--quick] [--threads N] [all|table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig11|obs|ftol]...\n\
+                     \n  --threads N   worker threads for campaign/study/eval (0 = all cores);\n                results are bitwise identical for every value"
                 );
                 std::process::exit(0);
             }
@@ -45,12 +59,17 @@ fn parse_args() -> Opts {
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
-    Opts { quick, artifacts }
+    Opts {
+        quick,
+        threads,
+        artifacts,
+    }
 }
 
 /// Lazily shared expensive inputs.
 struct Lazy {
     quick: bool,
+    threads: usize,
     suite: Suite,
     study: Option<StudyData>,
 }
@@ -67,6 +86,7 @@ impl Lazy {
                 },
                 seed: 27,
                 max_candidates: if self.quick { Some(40) } else { None },
+                threads: self.threads,
                 ..StudyConfig::default()
             };
             self.study = Some(run_deep_study(&cfg));
@@ -83,6 +103,7 @@ fn table1_and_2(lazy: &Lazy) {
     let cfg = FleetConfig {
         total_cpus: if lazy.quick { 200_000 } else { 1_050_000 },
         seed: 2021,
+        threads: lazy.threads,
     };
     eprintln!(
         "[repro] running the fleet campaign over {} CPUs…",
@@ -400,6 +421,7 @@ fn table4_and_fig11(lazy: &Lazy) {
             Duration::from_mins(10)
         },
         rounds: if lazy.quick { 2 } else { 4 },
+        threads: lazy.threads,
         ..EvalConfig::default()
     };
     let rows = evaluate(&cfg);
@@ -619,6 +641,7 @@ fn main() {
     let opts = parse_args();
     let mut lazy = Lazy {
         quick: opts.quick,
+        threads: opts.threads,
         suite: Suite::standard(),
         study: None,
     };

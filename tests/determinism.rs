@@ -58,6 +58,7 @@ fn fleet_campaign_is_seed_deterministic() {
     let cfg = FleetConfig {
         total_cpus: 150_000,
         seed: 99,
+        threads: 0,
     };
     let a = run_campaign(&cfg, &suite);
     let b = run_campaign(&cfg, &suite);

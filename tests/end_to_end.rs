@@ -35,6 +35,7 @@ fn full_farron_lifecycle_on_fpu1() {
                 stress_idle_cores: true,
                 ..Default::default()
             },
+            threads: 0,
         },
     );
     assert!(!reference.failing.is_empty(), "pre-production detects FPU1");
