@@ -18,6 +18,7 @@
 //! | [`suspects`] | §4.1's statistical suspect-instruction localization |
 //! | [`observations`] | Observations 1–12 as checkable summaries |
 
+pub mod attrition;
 pub mod bitflips;
 pub mod casebook;
 pub mod datatypes;
@@ -31,4 +32,5 @@ pub mod study;
 pub mod suspects;
 pub mod temperature;
 
+pub use attrition::AttritionReport;
 pub use study::{run_deep_study, CaseData, StudyConfig, StudyData};

@@ -16,12 +16,19 @@
 use crate::baseline::Baseline;
 use crate::online::{simulate_online, AppProfile, OnlineConfig};
 use crate::priority::PriorityBook;
+use crate::requeue::run_plan_requeue;
 use crate::schedule::FarronScheduler;
 use analysis::study::{run_case_cached, StudyConfig};
+use fleet::chaos::FaultPlan;
+use fleet::checkpoint::{CheckpointError, CheckpointStore, Fingerprint};
 use fleet::screening::SuiteProfileCache;
+use fleet::supervisor::{AttritionStats, RetryPolicy};
 use sdc_model::{DetRng, Duration, Feature, TestcaseId};
+use serde::{Deserialize, Serialize};
 use silicon::catalog;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use toolchain::{framework, ExecConfig, ProfileCache, Suite};
 
 /// Evaluation parameters.
@@ -54,7 +61,7 @@ impl Default for EvalConfig {
 }
 
 /// One Figure 11 / Table 4 row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalRow {
     /// Processor name.
     pub name: &'static str,
@@ -94,150 +101,548 @@ fn burn_in_exec() -> ExecConfig {
     }
 }
 
+/// Shared per-evaluation context: the suite, both schedulers, and the
+/// result-transparent profile caches.
+struct EvalCtx {
+    suite: Suite,
+    baseline: Baseline,
+    scheduler: FarronScheduler,
+    suite_cache: SuiteProfileCache,
+    unit_cache: Arc<ProfileCache>,
+}
+
+impl EvalCtx {
+    fn fresh() -> EvalCtx {
+        EvalCtx {
+            suite: Suite::standard(),
+            baseline: Baseline::default(),
+            scheduler: FarronScheduler::default(),
+            suite_cache: SuiteProfileCache::new(),
+            unit_cache: ProfileCache::shared(),
+        }
+    }
+}
+
+/// How the regular rounds of one evaluation row execute.
+#[derive(Clone, Copy)]
+enum RoundMode<'a> {
+    /// In-order execution of every window — the seed-pinned Figure 11
+    /// path; its numbers must never change.
+    Plain,
+    /// Chaos-exposed execution: faults interrupt windows, interrupted
+    /// windows are re-queued at the end of the round
+    /// ([`run_plan_requeue`]).
+    Chaos {
+        plan: &'a FaultPlan,
+        policy: &'a RetryPolicy,
+    },
+}
+
+/// Evaluates one processor row. Pure in `(cfg, name, mode)`: randomness
+/// is forked from the name, caches only memoize pure functions.
+fn eval_row(
+    cfg: &EvalConfig,
+    name: &'static str,
+    mode: RoundMode<'_>,
+    ctx: &EvalCtx,
+) -> (EvalRow, AttritionStats) {
+    let suite = &ctx.suite;
+    let case = catalog::by_name(name).expect("catalog name");
+    let processor = &case.processor;
+    let n_cores = processor.physical_cores as usize;
+    let profiles = ctx.suite_cache.get_or_build(suite, n_cores, cfg.threads);
+
+    // 1. Adequate reference study → known errors.
+    let reference = run_case_cached(
+        &case,
+        suite,
+        &profiles,
+        &StudyConfig {
+            per_testcase: cfg.reference_per_testcase,
+            seed: cfg.seed,
+            max_candidates: None,
+            exec: burn_in_exec(),
+            threads: 1,
+        },
+        Some(Arc::clone(&ctx.unit_cache)),
+    );
+    let known: Vec<TestcaseId> = reference.failing.clone();
+
+    // 2. Seed priorities from the adequate testing.
+    let mut book = PriorityBook::new();
+    for &id in &known {
+        book.record_processor_detection(processor.id.0, id);
+    }
+    // The protected application engages the implicated features.
+    let app_features: Vec<Feature> = {
+        let mut v: Vec<Feature> = known.iter().map(|&id| suite.get(id).feature).collect();
+        v.sort();
+        v.dedup();
+        if v.is_empty() {
+            vec![Feature::Alu]
+        } else {
+            v
+        }
+    };
+
+    // 3. Regular rounds, averaged: Farron (prioritized + burn-in)
+    // vs. baseline (equal slots, no burn-in).
+    let boundary_c = 58.0;
+    let farron_plan = ctx
+        .scheduler
+        .plan(suite, &book, processor.id, &app_features, boundary_c);
+    let baseline_plan = ctx.baseline.plan(suite);
+    let known_n = known.len().max(1);
+    let mut farron_cov_sum = 0.0;
+    let mut baseline_cov_sum = 0.0;
+    let mut attrition = AttritionStats::default();
+    let coverage = |report: &toolchain::TestReport| {
+        report
+            .failing_testcases()
+            .iter()
+            .filter(|t| known.contains(t))
+            .count() as f64
+            / known_n as f64
+    };
+    for round in 0..cfg.rounds.max(1) {
+        match mode {
+            RoundMode::Plain => {
+                let mut rng = DetRng::new(cfg.seed + round as u64).fork_str(name);
+                let farron_report = framework::run_plan_cached(
+                    processor,
+                    suite,
+                    &farron_plan,
+                    burn_in_exec(),
+                    &mut rng,
+                    Some(Arc::clone(&ctx.unit_cache)),
+                );
+                farron_cov_sum += coverage(&farron_report);
+                let mut rng_b = DetRng::new(cfg.seed ^ 0xb ^ round as u64).fork_str(name);
+                let baseline_report = framework::run_plan_cached(
+                    processor,
+                    suite,
+                    &baseline_plan,
+                    ExecConfig::default(),
+                    &mut rng_b,
+                    Some(Arc::clone(&ctx.unit_cache)),
+                );
+                baseline_cov_sum += coverage(&baseline_report);
+            }
+            RoundMode::Chaos { plan, policy } => {
+                let root = DetRng::new(cfg.seed + round as u64).fork_str(name);
+                let farron_out = run_plan_requeue(
+                    processor,
+                    suite,
+                    &farron_plan,
+                    burn_in_exec(),
+                    &root,
+                    Some(Arc::clone(&ctx.unit_cache)),
+                    crate::requeue::round_label(name, round as u64, 0),
+                    plan,
+                    policy,
+                );
+                farron_cov_sum += coverage(&farron_out.report);
+                attrition.merge(&farron_out.attrition);
+                let root_b = DetRng::new(cfg.seed ^ 0xb ^ round as u64).fork_str(name);
+                let baseline_out = run_plan_requeue(
+                    processor,
+                    suite,
+                    &baseline_plan,
+                    ExecConfig::default(),
+                    &root_b,
+                    Some(Arc::clone(&ctx.unit_cache)),
+                    crate::requeue::round_label(name, round as u64, 1),
+                    plan,
+                    policy,
+                );
+                baseline_cov_sum += coverage(&baseline_out.report);
+                attrition.merge(&baseline_out.attrition);
+            }
+        }
+    }
+    let rounds = cfg.rounds.max(1) as f64;
+
+    // 4. Online control overhead: the impacted workload simulated with
+    // the toolchain (§7.2) at production-like utilization; among the
+    // known failing testcases pick the coolest profile (applications
+    // are diluted relative to instruction loops).
+    let app_testcase = known
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            let pa = fleet::screening::StaticProfile::of(suite.get(a), n_cores).power;
+            let pb = fleet::screening::StaticProfile::of(suite.get(b), n_cores).power;
+            pa.partial_cmp(&pb).expect("finite power")
+        })
+        .unwrap_or(TestcaseId(0));
+    // Run the hottest impacted workload at moderate utilization so the
+    // die sits near the learned boundary; occasional request storms
+    // (spikes) push past it and trigger the rare backoffs of Table 4.
+    let app = AppProfile {
+        testcase: app_testcase,
+        utilization: 0.25,
+        burst_amplitude: 0.12,
+        burst_period: Duration::from_secs(120),
+        spike_prob: 0.002,
+    };
+    let cores: Vec<u16> = (0..processor.physical_cores).collect();
+    let mut rng_o = DetRng::new(cfg.seed).fork_str(name);
+    let online = simulate_online(
+        processor,
+        suite,
+        &app,
+        &cores,
+        &OnlineConfig {
+            duration: cfg.online_duration,
+            ..OnlineConfig::default()
+        },
+        &mut rng_o,
+    );
+
+    let cadence_secs = ctx.baseline.cadence.as_secs_f64();
+    let row = EvalRow {
+        name,
+        known_errors: known.len(),
+        farron_coverage: farron_cov_sum / rounds,
+        baseline_coverage: baseline_cov_sum / rounds,
+        farron_round_hours: farron_plan.total_duration().as_hours_f64(),
+        baseline_round_hours: baseline_plan.total_duration().as_hours_f64(),
+        farron_test_overhead: farron_plan.total_duration().as_secs_f64() / cadence_secs,
+        farron_control_overhead: online.backoff_fraction,
+        baseline_test_overhead: ctx.baseline.test_overhead(suite),
+        backoff_secs_per_hour: online.backoff_secs_per_hour,
+        protected_sdc_events: online.sdc_events,
+    };
+    (row, attrition)
+}
+
 /// Runs the full evaluation.
 ///
 /// Processors are sharded across `cfg.threads` workers; each one's
 /// randomness is forked from its name and the shared caches are
 /// result-transparent, so the rows are identical for every thread count.
 pub fn evaluate(cfg: &EvalConfig) -> Vec<EvalRow> {
-    let suite = Suite::standard();
-    let baseline = Baseline::default();
-    let scheduler = FarronScheduler::default();
-    let suite_cache = SuiteProfileCache::new();
-    let unit_cache = ProfileCache::shared();
-
+    let ctx = EvalCtx::fresh();
     fleet::parallel::run_indexed(&EVAL_NAMES, cfg.threads, |_, &name| {
-        let case = catalog::by_name(name).expect("catalog name");
-        let processor = &case.processor;
-        let n_cores = processor.physical_cores as usize;
-        let profiles = suite_cache.get_or_build(&suite, n_cores, cfg.threads);
+        eval_row(cfg, name, RoundMode::Plain, &ctx).0
+    })
+}
 
-        // 1. Adequate reference study → known errors.
-        let reference = run_case_cached(
-            &case,
-            &suite,
-            &profiles,
-            &StudyConfig {
-                per_testcase: cfg.reference_per_testcase,
-                seed: cfg.seed,
-                max_candidates: None,
-                exec: burn_in_exec(),
-                threads: 1,
-            },
-            Some(Arc::clone(&unit_cache)),
-        );
-        let known: Vec<TestcaseId> = reference.failing.clone();
+/// Runs the evaluation with every regular round exposed to `plan`:
+/// interrupted test windows are re-queued ([`run_plan_requeue`]), lost
+/// windows are dropped from coverage, and the aggregated attrition is
+/// returned alongside the rows.
+///
+/// Note the quiet-plan rows differ from [`evaluate`]'s: the re-queue
+/// path forks each window's RNG from its plan index (so windows can be
+/// re-ordered), while the plain path draws sequentially. Within the
+/// chaos path, supervision is transparent — see the requeue tests.
+pub fn evaluate_chaos(
+    cfg: &EvalConfig,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (Vec<EvalRow>, AttritionStats) {
+    let ctx = EvalCtx::fresh();
+    let rows = fleet::parallel::run_indexed(&EVAL_NAMES, cfg.threads, |_, &name| {
+        eval_row(cfg, name, RoundMode::Chaos { plan, policy }, &ctx)
+    });
+    let mut total = AttritionStats::default();
+    let mut out = Vec::with_capacity(rows.len());
+    for (row, att) in rows {
+        total.merge(&att);
+        out.push(row);
+    }
+    (out, total)
+}
 
-        // 2. Seed priorities from the adequate testing.
-        let mut book = PriorityBook::new();
-        for &id in &known {
-            book.record_processor_detection(processor.id.0, id);
+/// Format version of the evaluation row checkpoint.
+pub const EVAL_FORMAT_VERSION: u32 = 1;
+
+/// One completed evaluation row plus its attrition accounting, in a
+/// serializable shape (`name` travels as a string and is mapped back to
+/// the [`EVAL_NAMES`] entry on restore).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRowRecord {
+    /// Processor name (must be one of [`EVAL_NAMES`]).
+    pub name: String,
+    /// [`EvalRow::known_errors`].
+    pub known_errors: u64,
+    /// [`EvalRow::farron_coverage`].
+    pub farron_coverage: f64,
+    /// [`EvalRow::baseline_coverage`].
+    pub baseline_coverage: f64,
+    /// [`EvalRow::farron_round_hours`].
+    pub farron_round_hours: f64,
+    /// [`EvalRow::baseline_round_hours`].
+    pub baseline_round_hours: f64,
+    /// [`EvalRow::farron_test_overhead`].
+    pub farron_test_overhead: f64,
+    /// [`EvalRow::farron_control_overhead`].
+    pub farron_control_overhead: f64,
+    /// [`EvalRow::baseline_test_overhead`].
+    pub baseline_test_overhead: f64,
+    /// [`EvalRow::backoff_secs_per_hour`].
+    pub backoff_secs_per_hour: f64,
+    /// [`EvalRow::protected_sdc_events`].
+    pub protected_sdc_events: u64,
+    /// Attrition: test windows supervised across this row's rounds.
+    pub att_items: u64,
+    /// Attrition: windows that completed.
+    pub att_completed: u64,
+    /// Attrition: windows lost after exhausting retries.
+    pub att_lost: u64,
+    /// Attrition: extra attempts beyond the first.
+    pub att_retries: u64,
+    /// Attrition: faults by [`fleet::chaos::OpFault::index`] (length 5).
+    pub att_faults: Vec<u64>,
+    /// Attrition: accounted backoff seconds.
+    pub att_backoff_secs: f64,
+}
+
+serde::impl_json_struct!(EvalRowRecord {
+    name,
+    known_errors,
+    farron_coverage,
+    baseline_coverage,
+    farron_round_hours,
+    baseline_round_hours,
+    farron_test_overhead,
+    farron_control_overhead,
+    baseline_test_overhead,
+    backoff_secs_per_hour,
+    protected_sdc_events,
+    att_items,
+    att_completed,
+    att_lost,
+    att_retries,
+    att_faults,
+    att_backoff_secs,
+});
+
+impl EvalRowRecord {
+    /// Captures one completed row.
+    pub fn of(row: &EvalRow, attrition: &AttritionStats) -> EvalRowRecord {
+        EvalRowRecord {
+            name: row.name.to_string(),
+            known_errors: row.known_errors as u64,
+            farron_coverage: row.farron_coverage,
+            baseline_coverage: row.baseline_coverage,
+            farron_round_hours: row.farron_round_hours,
+            baseline_round_hours: row.baseline_round_hours,
+            farron_test_overhead: row.farron_test_overhead,
+            farron_control_overhead: row.farron_control_overhead,
+            baseline_test_overhead: row.baseline_test_overhead,
+            backoff_secs_per_hour: row.backoff_secs_per_hour,
+            protected_sdc_events: row.protected_sdc_events,
+            att_items: attrition.items,
+            att_completed: attrition.completed,
+            att_lost: attrition.lost,
+            att_retries: attrition.retries,
+            att_faults: attrition.faults_by_kind.to_vec(),
+            att_backoff_secs: attrition.backoff_secs,
         }
-        // The protected application engages the implicated features.
-        let app_features: Vec<Feature> = {
-            let mut v: Vec<Feature> = known.iter().map(|&id| suite.get(id).feature).collect();
-            v.sort();
-            v.dedup();
-            if v.is_empty() {
-                vec![Feature::Alu]
-            } else {
-                v
-            }
-        };
+    }
 
-        // 3. Regular rounds, averaged: Farron (prioritized + burn-in)
-        // vs. baseline (equal slots, no burn-in).
-        let boundary_c = 58.0;
-        let farron_plan = scheduler.plan(&suite, &book, processor.id, &app_features, boundary_c);
-        let baseline_plan = baseline.plan(&suite);
-        let known_n = known.len().max(1);
-        let mut farron_cov_sum = 0.0;
-        let mut baseline_cov_sum = 0.0;
-        for round in 0..cfg.rounds.max(1) {
-            let mut rng = DetRng::new(cfg.seed + round as u64).fork_str(name);
-            let farron_report = framework::run_plan_cached(
-                processor,
-                &suite,
-                &farron_plan,
-                burn_in_exec(),
-                &mut rng,
-                Some(Arc::clone(&unit_cache)),
-            );
-            farron_cov_sum += farron_report
-                .failing_testcases()
-                .iter()
-                .filter(|t| known.contains(t))
-                .count() as f64
-                / known_n as f64;
-            let mut rng_b = DetRng::new(cfg.seed ^ 0xb ^ round as u64).fork_str(name);
-            let baseline_report = framework::run_plan_cached(
-                processor,
-                &suite,
-                &baseline_plan,
-                ExecConfig::default(),
-                &mut rng_b,
-                Some(Arc::clone(&unit_cache)),
-            );
-            baseline_cov_sum += baseline_report
-                .failing_testcases()
-                .iter()
-                .filter(|t| known.contains(t))
-                .count() as f64
-                / known_n as f64;
-        }
-        let rounds = cfg.rounds.max(1) as f64;
-
-        // 4. Online control overhead: the impacted workload simulated with
-        // the toolchain (§7.2) at production-like utilization; among the
-        // known failing testcases pick the coolest profile (applications
-        // are diluted relative to instruction loops).
-        let app_testcase = known
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let pa = fleet::screening::StaticProfile::of(suite.get(a), n_cores).power;
-                let pb = fleet::screening::StaticProfile::of(suite.get(b), n_cores).power;
-                pa.partial_cmp(&pb).expect("finite power")
-            })
-            .unwrap_or(TestcaseId(0));
-        // Run the hottest impacted workload at moderate utilization so the
-        // die sits near the learned boundary; occasional request storms
-        // (spikes) push past it and trigger the rare backoffs of Table 4.
-        let app = AppProfile {
-            testcase: app_testcase,
-            utilization: 0.25,
-            burst_amplitude: 0.12,
-            burst_period: Duration::from_secs(120),
-            spike_prob: 0.002,
-        };
-        let cores: Vec<u16> = (0..processor.physical_cores).collect();
-        let mut rng_o = DetRng::new(cfg.seed).fork_str(name);
-        let online = simulate_online(
-            processor,
-            &suite,
-            &app,
-            &cores,
-            &OnlineConfig {
-                duration: cfg.online_duration,
-                ..OnlineConfig::default()
-            },
-            &mut rng_o,
-        );
-
-        let cadence_secs = baseline.cadence.as_secs_f64();
-        EvalRow {
+    /// Restores the row; `None` when the stored name is not an
+    /// evaluation processor.
+    pub fn to_row(&self) -> Option<EvalRow> {
+        let name = *EVAL_NAMES.iter().find(|&&n| n == self.name)?;
+        Some(EvalRow {
             name,
-            known_errors: known.len(),
-            farron_coverage: farron_cov_sum / rounds,
-            baseline_coverage: baseline_cov_sum / rounds,
-            farron_round_hours: farron_plan.total_duration().as_hours_f64(),
-            baseline_round_hours: baseline_plan.total_duration().as_hours_f64(),
-            farron_test_overhead: farron_plan.total_duration().as_secs_f64() / cadence_secs,
-            farron_control_overhead: online.backoff_fraction,
-            baseline_test_overhead: baseline.test_overhead(&suite),
-            backoff_secs_per_hour: online.backoff_secs_per_hour,
-            protected_sdc_events: online.sdc_events,
+            known_errors: self.known_errors as usize,
+            farron_coverage: self.farron_coverage,
+            baseline_coverage: self.baseline_coverage,
+            farron_round_hours: self.farron_round_hours,
+            baseline_round_hours: self.baseline_round_hours,
+            farron_test_overhead: self.farron_test_overhead,
+            farron_control_overhead: self.farron_control_overhead,
+            baseline_test_overhead: self.baseline_test_overhead,
+            backoff_secs_per_hour: self.backoff_secs_per_hour,
+            protected_sdc_events: self.protected_sdc_events,
+        })
+    }
+
+    /// Restores the row's attrition accounting.
+    pub fn attrition(&self) -> AttritionStats {
+        let mut stats = AttritionStats {
+            items: self.att_items,
+            completed: self.att_completed,
+            lost: self.att_lost,
+            retries: self.att_retries,
+            backoff_secs: self.att_backoff_secs,
+            ..AttritionStats::default()
+        };
+        for (acc, &n) in stats.faults_by_kind.iter_mut().zip(self.att_faults.iter()) {
+            *acc = n;
         }
+        stats
+    }
+}
+
+/// A versioned, fingerprinted snapshot of completed evaluation rows.
+///
+/// The fingerprint reuses the campaign [`Fingerprint`] shape; the
+/// evaluation has no fleet, so the capacity seat carries the round
+/// count instead (see [`eval_fingerprint`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalCheckpoint {
+    /// Format version ([`EVAL_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Which evaluation this snapshot belongs to.
+    pub fingerprint: Fingerprint,
+    /// Completed rows, in completion (not [`EVAL_NAMES`]) order.
+    pub rows: Vec<EvalRowRecord>,
+}
+
+serde::impl_json_struct!(EvalCheckpoint {
+    version,
+    fingerprint,
+    rows,
+});
+
+/// Identity of a chaos evaluation for checkpoint validation: seed,
+/// round count (in the fingerprint's capacity seat), and the canonical
+/// fault-plan spec.
+pub fn eval_fingerprint(cfg: &EvalConfig, plan: &FaultPlan) -> Fingerprint {
+    Fingerprint {
+        seed: cfg.seed,
+        total_cpus: cfg.rounds as u64,
+        plan: plan.spec(),
+    }
+}
+
+impl EvalCheckpoint {
+    /// An empty snapshot for `fingerprint`.
+    pub fn empty(fingerprint: Fingerprint) -> EvalCheckpoint {
+        EvalCheckpoint {
+            version: EVAL_FORMAT_VERSION,
+            fingerprint,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Loads and validates a snapshot against the expected fingerprint.
+    pub fn load(
+        path: &std::path::Path,
+        expected: &Fingerprint,
+    ) -> Result<EvalCheckpoint, CheckpointError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let ck: EvalCheckpoint =
+            serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        if ck.version != EVAL_FORMAT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ck.version,
+                expected: EVAL_FORMAT_VERSION,
+            });
+        }
+        if ck.fingerprint != *expected {
+            return Err(CheckpointError::Mismatch {
+                found: ck.fingerprint,
+                expected: expected.clone(),
+            });
+        }
+        Ok(ck)
+    }
+}
+
+/// The outcome of a resumable evaluation run.
+#[derive(Debug)]
+pub enum EvalRun {
+    /// Every row evaluated or restored, in [`EVAL_NAMES`] order.
+    Completed {
+        /// The Figure 11 / Table 4 rows.
+        rows: Vec<EvalRow>,
+        /// Aggregated attrition across all rows.
+        attrition: AttritionStats,
+    },
+    /// The store's kill hook stopped the run; the snapshot on disk
+    /// holds the rows completed so far.
+    Interrupted,
+}
+
+/// [`evaluate_chaos`] with row-level checkpoint/resume.
+///
+/// If the store's snapshot exists it is loaded (and validated against
+/// [`eval_fingerprint`]); completed rows are restored instead of
+/// re-evaluated, so interrupt-plus-resume returns exactly what an
+/// uninterrupted run would. Rows are few and expensive, so a snapshot
+/// is written after *every* completion (`store.every` is ignored);
+/// `store.kill_after` simulates SIGKILL after that many new rows.
+pub fn evaluate_checkpointed(
+    cfg: &EvalConfig,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    store: &CheckpointStore,
+) -> Result<EvalRun, CheckpointError> {
+    let fingerprint = eval_fingerprint(cfg, plan);
+    let prior = if store.path().exists() {
+        EvalCheckpoint::load(store.path(), &fingerprint)?
+    } else {
+        EvalCheckpoint::empty(fingerprint)
+    };
+    let done: HashMap<String, EvalRowRecord> = prior
+        .rows
+        .iter()
+        .map(|r| (r.name.clone(), r.clone()))
+        .collect();
+
+    struct Sink {
+        snapshot: EvalCheckpoint,
+        new_done: usize,
+        error: Option<CheckpointError>,
+    }
+    let sink = Mutex::new(Sink {
+        snapshot: prior,
+        new_done: 0,
+        error: None,
+    });
+    let killed = AtomicBool::new(false);
+    let ctx = EvalCtx::fresh();
+
+    let records = fleet::parallel::run_indexed(&EVAL_NAMES, cfg.threads, |_, &name| {
+        if let Some(record) = done.get(name) {
+            return Some(record.clone());
+        }
+        if killed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let (row, attrition) = eval_row(cfg, name, RoundMode::Chaos { plan, policy }, &ctx);
+        let record = EvalRowRecord::of(&row, &attrition);
+        let mut sink = sink.lock().expect("eval checkpoint sink");
+        sink.snapshot.rows.push(record.clone());
+        sink.new_done += 1;
+        if let Err(e) = store.write_value(&sink.snapshot) {
+            sink.error = Some(e);
+        }
+        if let Some(k) = store.kill_after {
+            if sink.new_done >= k {
+                killed.store(true, Ordering::SeqCst);
+            }
+        }
+        Some(record)
+    });
+
+    let sink = sink.into_inner().expect("eval workers joined");
+    if let Some(e) = sink.error {
+        return Err(e);
+    }
+    if killed.load(Ordering::SeqCst) {
+        return Ok(EvalRun::Interrupted);
+    }
+    let mut rows = Vec::with_capacity(EVAL_NAMES.len());
+    let mut total = AttritionStats::default();
+    for record in records {
+        let record = record.expect("uninterrupted run evaluates every row");
+        let row = record
+            .to_row()
+            .ok_or_else(|| CheckpointError::Corrupt(format!("unknown eval row '{}'", record.name)))?;
+        total.merge(&record.attrition());
+        rows.push(row);
+    }
+    Ok(EvalRun::Completed {
+        rows,
+        attrition: total,
     })
 }
 
@@ -310,5 +715,83 @@ mod tests {
             farron_coverage > 0.55,
             "farron one-round coverage {farron_coverage}"
         );
+    }
+
+    /// Small enough to evaluate all six processors a few times in a test.
+    fn tiny_cfg() -> EvalConfig {
+        EvalConfig {
+            reference_per_testcase: Duration::from_mins(1),
+            seed: 909,
+            online_duration: Duration::from_mins(15),
+            rounds: 1,
+            threads: 0,
+        }
+    }
+
+    fn storm() -> FaultPlan {
+        FaultPlan {
+            seed: 21,
+            offline: 0.05,
+            crash: 0.03,
+            preempt: 0.10,
+            read_error: 0.05,
+            timeout: 0.02,
+        }
+    }
+
+    #[test]
+    fn quiet_chaos_eval_loses_nothing() {
+        let (rows, attrition) =
+            evaluate_chaos(&tiny_cfg(), &FaultPlan::default(), &RetryPolicy::default());
+        assert_eq!(rows.len(), EVAL_NAMES.len());
+        assert_eq!(attrition.lost, 0);
+        assert_eq!(attrition.retries, 0);
+        assert_eq!(attrition.total_faults(), 0);
+        assert_eq!(attrition.coverage(), 1.0);
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.farron_coverage), "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn checkpointed_eval_interrupt_resume_matches_uninterrupted() {
+        let cfg = tiny_cfg();
+        let policy = RetryPolicy::default();
+        let dir = std::env::temp_dir().join("sdc-eval-ck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let full_store = CheckpointStore::new(dir.join("full.json"), 1);
+        let (full_rows, full_att) =
+            match evaluate_checkpointed(&cfg, &storm(), &policy, &full_store).unwrap() {
+                EvalRun::Completed { rows, attrition } => (rows, attrition),
+                EvalRun::Interrupted => panic!("run without a kill hook cannot be interrupted"),
+            };
+        assert_eq!(full_rows.len(), EVAL_NAMES.len());
+        assert!(full_att.total_faults() > 0, "storm must interrupt something");
+
+        // Kill after two new rows, then resume from the snapshot.
+        let mut killer = CheckpointStore::new(dir.join("killed.json"), 1);
+        killer.kill_after = Some(2);
+        assert!(matches!(
+            evaluate_checkpointed(&cfg, &storm(), &policy, &killer).unwrap(),
+            EvalRun::Interrupted
+        ));
+        let resume_store = CheckpointStore::new(dir.join("killed.json"), 1);
+        let (rows, attrition) =
+            match evaluate_checkpointed(&cfg, &storm(), &policy, &resume_store).unwrap() {
+                EvalRun::Completed { rows, attrition } => (rows, attrition),
+                EvalRun::Interrupted => panic!("resume run has no kill hook"),
+            };
+        assert_eq!(rows, full_rows);
+        assert_eq!(attrition, full_att);
+
+        // A snapshot never resumes the wrong evaluation.
+        let mut other = cfg;
+        other.seed ^= 1;
+        assert!(matches!(
+            evaluate_checkpointed(&other, &storm(), &policy, &resume_store),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -31,14 +31,19 @@ pub mod decommission;
 pub mod eval;
 pub mod online;
 pub mod priority;
+pub mod requeue;
 pub mod schedule;
 pub mod state;
 
 pub use boundary::{AdaptiveBoundary, BoundaryAction};
 pub use capacity::{capacity_report, CapacityReport};
 pub use decommission::{DecommissionDecision, ReliablePool};
-pub use eval::{evaluate, EvalConfig, EvalRow};
+pub use eval::{
+    eval_fingerprint, evaluate, evaluate_chaos, evaluate_checkpointed, EvalCheckpoint, EvalConfig,
+    EvalRow, EvalRowRecord, EvalRun,
+};
 pub use online::{simulate_online, AppProfile, ControlMode, OnlineConfig, OnlineReport};
 pub use priority::{PriorityBook, TestPriority};
+pub use requeue::{round_label, run_plan_requeue, RequeueReport};
 pub use schedule::FarronScheduler;
 pub use state::{FarronState, StateMachine};

@@ -1,11 +1,18 @@
 //! The end-to-end test campaign: lifecycle over the whole fleet.
 
+use crate::chaos::{FaultPlan, OpFault};
+use crate::checkpoint::{
+    CampaignCheckpoint, CheckpointError, CheckpointStore, Fingerprint, ItemRecord,
+};
 use crate::lifecycle::{Stage, StageSpec};
 use crate::population::{FleetConfig, FleetPopulation};
 use crate::screening::{stage_detection_probability, SuiteProfileCache};
+use crate::supervisor::{run_slot, AttritionStats, RetryPolicy, SlotError};
 use sdc_model::{ArchId, DetRng};
 use silicon::Processor;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use toolchain::{CacheStats, Suite};
 
 /// Samples the age (years after factory delivery) at which a defect
@@ -166,6 +173,191 @@ pub fn run_campaign_on(cfg: &FleetConfig, suite: &Suite, pop: &FleetPopulation) 
     }
 }
 
+/// A campaign outcome under supervision: possibly-partial coverage plus
+/// explicit attrition accounting instead of a panic.
+#[derive(Debug)]
+pub struct SupervisedCampaign {
+    /// The (partial) campaign outcome. `fates` holds only the slots
+    /// that completed, still in population order, so every table is
+    /// computed over the covered subset.
+    pub outcome: CampaignOutcome,
+    /// Retry/fault/backoff accounting over all slots.
+    pub attrition: AttritionStats,
+    /// Population indices of the slots lost after exhausting retries.
+    pub lost: Vec<u64>,
+}
+
+/// How a resumable campaign run ended.
+#[derive(Debug)]
+pub enum ResumableRun {
+    /// Every slot was driven to completion or loss.
+    Completed(SupervisedCampaign),
+    /// The simulated kill fired ([`CheckpointStore::kill_after`]); the
+    /// last written snapshot is on disk, ready for resume.
+    Interrupted,
+}
+
+/// The checkpoint identity of a `(config, fault plan)` campaign.
+pub fn campaign_fingerprint(cfg: &FleetConfig, plan: &FaultPlan) -> Fingerprint {
+    Fingerprint {
+        seed: cfg.seed,
+        total_cpus: cfg.total_cpus,
+        plan: plan.spec(),
+    }
+}
+
+/// [`run_campaign`] under a fault plan and retry policy: slots that
+/// draw operational faults retry with backoff; slots that exhaust the
+/// budget are dropped from the outcome and reported in the attrition
+/// stats — the campaign itself always completes.
+pub fn run_campaign_supervised(
+    cfg: &FleetConfig,
+    suite: &Suite,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> SupervisedCampaign {
+    let pop = FleetPopulation::sample(cfg);
+    match run_campaign_resumable(cfg, suite, &pop, plan, policy, None, None) {
+        Ok(ResumableRun::Completed(run)) => run,
+        Ok(ResumableRun::Interrupted) => {
+            unreachable!("no checkpoint store, so no kill hook can fire")
+        }
+        Err(e) => unreachable!("no checkpoint store, so no checkpoint I/O can fail: {e}"),
+    }
+}
+
+/// The checkpointable supervised campaign driver.
+///
+/// Each slot is a pure function of `(cfg.seed, plan, population
+/// index)`, so `resume` only needs the completed [`ItemRecord`]s:
+/// workers skip those indices and recompute the rest, and the assembled
+/// outcome is bitwise identical to an uninterrupted run at any thread
+/// count. With a `store`, a snapshot is written atomically every
+/// [`CheckpointStore::every`] completions (plus once at the end);
+/// `store.kill_after` simulates SIGKILL for the determinism tests.
+pub fn run_campaign_resumable(
+    cfg: &FleetConfig,
+    suite: &Suite,
+    pop: &FleetPopulation,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    store: Option<&CheckpointStore>,
+    resume: Option<&CampaignCheckpoint>,
+) -> Result<ResumableRun, CheckpointError> {
+    let pipeline = StageSpec::default_pipeline();
+    let clock_hz = 1e7;
+    let root = DetRng::new(cfg.seed).fork_str("fleet-campaign");
+    let profile_cache = SuiteProfileCache::new();
+    let done: HashMap<usize, ItemRecord> = resume.map(|c| c.by_index()).unwrap_or_default();
+
+    struct Sink {
+        snapshot: CampaignCheckpoint,
+        since_write: usize,
+        new_done: usize,
+        error: Option<CheckpointError>,
+    }
+    let killed = AtomicBool::new(false);
+    let sink = Mutex::new(Sink {
+        snapshot: resume.cloned().unwrap_or_else(|| {
+            CampaignCheckpoint::empty(campaign_fingerprint(cfg, plan))
+        }),
+        since_write: 0,
+        new_done: 0,
+        error: None,
+    });
+
+    let records = crate::parallel::run_indexed(&pop.defective, cfg.threads, |i, processor| {
+        if let Some(rec) = done.get(&i) {
+            return Some(rec.clone());
+        }
+        if killed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let label = processor.id.0;
+        let slot = run_slot(policy, plan, label, |attempt| {
+            let fail_read = match attempt.injected {
+                Some(OpFault::ProfileRead) => Some(attempt.index),
+                Some(fault) => return Err(SlotError::Fault(fault)),
+                None => None,
+            };
+            let profiles = profile_cache.get_or_build_fallible(
+                suite,
+                processor.physical_cores as usize,
+                cfg.threads,
+                fail_read,
+            )?;
+            // Re-fork the fate stream from scratch every attempt:
+            // supervision is transparent to a successful slot's result.
+            let mut rng = root.fork(label);
+            let fate = processor_fate(processor, suite, &profiles, &pipeline, clock_hz, &mut rng);
+            Ok((processor.arch, fate))
+        });
+        let fate = slot.result.map(|(_, f)| f);
+        let rec = ItemRecord::of(i, processor.arch, fate, &slot.report);
+        if let Some(store) = store {
+            let mut s = sink.lock().expect("checkpoint sink");
+            s.snapshot.items.push(rec.clone());
+            s.since_write += 1;
+            s.new_done += 1;
+            if s.since_write >= store.every && s.error.is_none() {
+                if let Err(e) = store.write(&s.snapshot) {
+                    s.error = Some(e);
+                }
+                s.since_write = 0;
+            }
+            if let Some(k) = store.kill_after {
+                if s.new_done >= k {
+                    killed.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        Some(rec)
+    });
+
+    if let Some(e) = sink.lock().expect("checkpoint sink").error.take() {
+        return Err(e);
+    }
+    if killed.load(Ordering::Relaxed) {
+        return Ok(ResumableRun::Interrupted);
+    }
+
+    let mut fates = Vec::new();
+    let mut attrition = AttritionStats::default();
+    let mut lost = Vec::new();
+    for rec in &records {
+        let rec = rec
+            .as_ref()
+            .expect("invariant violated: every slot completes when the kill hook never fired");
+        let report = rec.report();
+        match rec.fate() {
+            Some(fate) => {
+                attrition.record(true, &report);
+                fates.push((ArchId(rec.arch), fate));
+            }
+            None => {
+                attrition.record(false, &report);
+                lost.push(rec.index);
+            }
+        }
+    }
+    if let Some(store) = store {
+        // Leave a complete snapshot behind so a finished run can be
+        // "resumed" into an instant replay.
+        let sink = sink.lock().expect("checkpoint sink");
+        store.write(&sink.snapshot)?;
+    }
+    Ok(ResumableRun::Completed(SupervisedCampaign {
+        outcome: CampaignOutcome {
+            total_cpus: pop.total(),
+            per_arch_total: pop.per_arch_total.clone(),
+            fates,
+            suite_cache: profile_cache.stats(),
+        },
+        attrition,
+        lost,
+    }))
+}
+
 /// Walks one defective processor through the lifecycle; `rng` is its
 /// private stream.
 fn processor_fate(
@@ -303,6 +495,82 @@ mod tests {
         assert_eq!(serial.fates, parallel.fates);
         assert_eq!(serial.total_cpus, parallel.total_cpus);
         assert_eq!(serial.per_arch_total, parallel.per_arch_total);
+    }
+
+    #[test]
+    fn quiet_supervision_matches_unsupervised_campaign() {
+        let cfg = FleetConfig {
+            total_cpus: 150_000,
+            seed: 77,
+            threads: 2,
+        };
+        let suite = Suite::standard();
+        let plain = run_campaign(&cfg, &suite);
+        let supervised =
+            run_campaign_supervised(&cfg, &suite, &FaultPlan::default(), &RetryPolicy::default());
+        assert_eq!(supervised.outcome.fates, plain.fates);
+        assert_eq!(supervised.attrition.lost, 0);
+        assert_eq!(supervised.attrition.retries, 0);
+        assert_eq!(supervised.attrition.coverage(), 1.0);
+        assert!(supervised.lost.is_empty());
+    }
+
+    #[test]
+    fn stormy_campaign_completes_and_reports_attrition() {
+        // The acceptance scenario: 5% machine-offline + 10% preemption.
+        let cfg = FleetConfig {
+            total_cpus: 150_000,
+            seed: 77,
+            threads: 2,
+        };
+        let plan = FaultPlan {
+            seed: 7,
+            offline: 0.05,
+            preempt: 0.10,
+            ..FaultPlan::default()
+        };
+        let suite = Suite::standard();
+        let run = run_campaign_supervised(&cfg, &suite, &plan, &RetryPolicy::default());
+        assert_eq!(run.attrition.items, run.outcome.fates.len() as u64 + run.lost.len() as u64);
+        assert!(run.attrition.total_faults() > 0, "a storm must leave marks");
+        assert!(run.attrition.retries > 0);
+        assert!(run.attrition.backoff_secs > 0.0);
+        assert!(run.attrition.coverage() > 0.9, "most slots survive retries");
+        // Completed slots carry the same fates as a fault-free run: the
+        // supervisor re-forks each slot's stream per attempt.
+        let plain = run_campaign(&cfg, &suite);
+        let completed: Vec<_> = plain
+            .fates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !run.lost.contains(&(*i as u64)))
+            .map(|(_, f)| *f)
+            .collect();
+        assert_eq!(run.outcome.fates, completed);
+    }
+
+    #[test]
+    fn stormy_campaign_is_thread_invariant() {
+        let suite = Suite::standard();
+        let plan = FaultPlan {
+            seed: 3,
+            offline: 0.05,
+            crash: 0.05,
+            preempt: 0.10,
+            read_error: 0.05,
+            timeout: 0.02,
+        };
+        let mut cfg = FleetConfig {
+            total_cpus: 100_000,
+            seed: 41,
+            threads: 1,
+        };
+        let serial = run_campaign_supervised(&cfg, &suite, &plan, &RetryPolicy::default());
+        cfg.threads = 8;
+        let parallel = run_campaign_supervised(&cfg, &suite, &plan, &RetryPolicy::default());
+        assert_eq!(serial.outcome.fates, parallel.outcome.fates);
+        assert_eq!(serial.attrition, parallel.attrition);
+        assert_eq!(serial.lost, parallel.lost);
     }
 
     #[test]

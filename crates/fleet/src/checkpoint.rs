@@ -1,0 +1,368 @@
+//! Versioned campaign checkpoints: interrupt anywhere, resume exactly.
+//!
+//! Every campaign slot is a pure function of `(campaign seed, fault
+//! plan, item index)`, so a checkpoint only needs the *set of completed
+//! per-item records* — no RNG positions, no partial state. The store
+//! writes a snapshot every N completions via the atomic
+//! tmp-file-then-rename dance, validates a fingerprint (seed, fleet
+//! size, fault-plan spec) on load so a checkpoint can never resume the
+//! wrong campaign, and carries a format version for forward evolution.
+//! Resume recomputes only the missing items and merges by index; the
+//! assembled outcome — fates, tables, attrition — is bitwise identical
+//! to an uninterrupted run at any thread count.
+
+use crate::campaign::Fate;
+use crate::lifecycle::Stage;
+use crate::supervisor::{SlotReport, SlotError};
+use crate::chaos::OpFault;
+use sdc_model::ArchId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Identity of the campaign a checkpoint belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Fleet size.
+    pub total_cpus: u64,
+    /// Canonical fault-plan spec ([`crate::chaos::FaultPlan::spec`]).
+    pub plan: String,
+}
+
+serde::impl_json_struct!(Fingerprint {
+    seed,
+    total_cpus,
+    plan,
+});
+
+/// One completed slot: everything needed to reassemble the campaign
+/// outcome and its attrition stats without re-running the item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItemRecord {
+    /// Population index of the defective processor.
+    pub index: u64,
+    /// Its architecture (raw [`ArchId`]).
+    pub arch: u8,
+    /// `Some(stage)` when caught, `None` when escaped or lost.
+    pub stage: Option<Stage>,
+    /// Regular-round index when caught at `Stage::Regular`; 0 otherwise.
+    pub round: u32,
+    /// True when the slot exhausted its retries and produced no fate.
+    pub lost: bool,
+    /// Attempts made.
+    pub attempts: u32,
+    /// Faults observed, by [`OpFault::index`] (length 5).
+    pub faults: Vec<u64>,
+    /// Accounted backoff seconds.
+    pub backoff_secs: f64,
+}
+
+serde::impl_json_struct!(ItemRecord {
+    index,
+    arch,
+    stage,
+    round,
+    lost,
+    attempts,
+    faults,
+    backoff_secs,
+});
+
+impl ItemRecord {
+    /// Builds a record from one supervised slot.
+    pub fn of(index: usize, arch: ArchId, fate: Option<Fate>, report: &SlotReport) -> ItemRecord {
+        let (stage, round) = match fate {
+            Some(Fate::Caught(s, r)) => (Some(s), r),
+            Some(Fate::Escaped) | None => (None, 0),
+        };
+        ItemRecord {
+            index: index as u64,
+            arch: arch.0,
+            stage,
+            round,
+            lost: fate.is_none(),
+            attempts: report.attempts,
+            faults: report.faults_by_kind.to_vec(),
+            backoff_secs: report.backoff_secs,
+        }
+    }
+
+    /// The fate this record encodes (`None` when the slot was lost).
+    pub fn fate(&self) -> Option<Fate> {
+        if self.lost {
+            None
+        } else {
+            match self.stage {
+                Some(s) => Some(Fate::Caught(s, self.round)),
+                None => Some(Fate::Escaped),
+            }
+        }
+    }
+
+    /// Reconstructs the slot report for attrition accounting.
+    pub fn report(&self) -> SlotReport {
+        let mut faults = [0u64; OpFault::ALL.len()];
+        for (acc, &n) in faults.iter_mut().zip(self.faults.iter()) {
+            *acc = n;
+        }
+        SlotReport {
+            attempts: self.attempts,
+            faults_by_kind: faults,
+            backoff_secs: self.backoff_secs,
+            // The concrete losing error is not persisted — only that the
+            // slot was lost — so reconstruction marks it generically.
+            lost: if self.lost {
+                Some(SlotError::Fault(OpFault::MachineOffline))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// A versioned, fingerprinted snapshot of completed campaign items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Which campaign this snapshot belongs to.
+    pub fingerprint: Fingerprint,
+    /// Completed items, in completion (not index) order.
+    pub items: Vec<ItemRecord>,
+}
+
+serde::impl_json_struct!(CampaignCheckpoint {
+    version,
+    fingerprint,
+    items,
+});
+
+/// Why a checkpoint could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(String),
+    /// The file did not parse as a checkpoint.
+    Corrupt(String),
+    /// The file is a checkpoint of a different format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The checkpoint belongs to a different campaign.
+    Mismatch {
+        /// Fingerprint found in the file.
+        found: Fingerprint,
+        /// Fingerprint of the campaign being resumed.
+        expected: Fingerprint,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
+            CheckpointError::Version { found, expected } => {
+                write!(f, "checkpoint format v{found}, this build reads v{expected}")
+            }
+            CheckpointError::Mismatch { found, expected } => write!(
+                f,
+                "checkpoint is for campaign (seed={}, cpus={}, plan={}), \
+                 not (seed={}, cpus={}, plan={})",
+                found.seed, found.total_cpus, found.plan,
+                expected.seed, expected.total_cpus, expected.plan
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl CampaignCheckpoint {
+    /// An empty snapshot for `fingerprint`.
+    pub fn empty(fingerprint: Fingerprint) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            version: FORMAT_VERSION,
+            fingerprint,
+            items: Vec::new(),
+        }
+    }
+
+    /// Loads and validates a snapshot against the expected fingerprint.
+    pub fn load(path: &Path, expected: &Fingerprint) -> Result<CampaignCheckpoint, CheckpointError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let ck: CampaignCheckpoint =
+            serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        if ck.version != FORMAT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ck.version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        if ck.fingerprint != *expected {
+            return Err(CheckpointError::Mismatch {
+                found: ck.fingerprint,
+                expected: expected.clone(),
+            });
+        }
+        Ok(ck)
+    }
+
+    /// Completed records keyed by population index.
+    pub fn by_index(&self) -> HashMap<usize, ItemRecord> {
+        self.items
+            .iter()
+            .map(|r| (r.index as usize, r.clone()))
+            .collect()
+    }
+}
+
+/// Writes snapshots every `every` completions, atomically.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    /// Completions between snapshot writes.
+    pub every: usize,
+    /// Testing hook simulating SIGKILL: the campaign driver stops
+    /// claiming work after this many *new* completions, leaving the
+    /// last written snapshot on disk — exactly the state a killed
+    /// process would leave behind.
+    pub kill_after: Option<usize>,
+}
+
+impl CheckpointStore {
+    /// A store writing to `path` every `every` completions.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> CheckpointStore {
+        CheckpointStore {
+            path: path.into(),
+            every: every.max(1),
+            kill_after: None,
+        }
+    }
+
+    /// The snapshot path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically replaces the snapshot on disk: write to a sibling tmp
+    /// file, fsync-free rename over the target (rename is atomic on the
+    /// platforms we run on; a torn write can only ever leave the old
+    /// snapshot or the new one, never a hybrid).
+    pub fn write(&self, ck: &CampaignCheckpoint) -> Result<(), CheckpointError> {
+        self.write_value(ck)
+    }
+
+    /// [`CheckpointStore::write`] for any serializable snapshot type
+    /// (the Farron evaluation keeps its own row checkpoint).
+    pub fn write_value<T: Serialize>(&self, value: &T) -> Result<(), CheckpointError> {
+        let json =
+            serde_json::to_string(value).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, json).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::SlotReport;
+
+    fn fp() -> Fingerprint {
+        Fingerprint {
+            seed: 2021,
+            total_cpus: 400_000,
+            plan: "offline=0.05,crash=0,preempt=0.1,read_error=0,timeout=0,seed=7".into(),
+        }
+    }
+
+    fn record(index: usize, fate: Option<Fate>) -> ItemRecord {
+        let mut report = SlotReport::default();
+        report.attempts = 2;
+        report.backoff_secs = 31.5;
+        report.faults_by_kind[OpFault::Preempted.index()] = 1;
+        ItemRecord::of(index, ArchId(3), fate, &report)
+    }
+
+    #[test]
+    fn fate_round_trips_through_record() {
+        for fate in [
+            Some(Fate::Caught(Stage::Reinstall, 0)),
+            Some(Fate::Caught(Stage::Regular, 7)),
+            Some(Fate::Escaped),
+            None,
+        ] {
+            assert_eq!(record(4, fate).fate(), fate);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("sdc-ck-test-rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("ck.json"), 10);
+        let mut ck = CampaignCheckpoint::empty(fp());
+        ck.items.push(record(0, Some(Fate::Escaped)));
+        ck.items.push(record(3, Some(Fate::Caught(Stage::Factory, 0))));
+        ck.items.push(record(1, None));
+        store.write(&ck).unwrap();
+        let back = CampaignCheckpoint::load(store.path(), &fp()).unwrap();
+        assert_eq!(back, ck);
+        let by_index = back.by_index();
+        assert_eq!(by_index.len(), 3);
+        assert_eq!(by_index[&3].fate(), Some(Fate::Caught(Stage::Factory, 0)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_fingerprint_and_version() {
+        let dir = std::env::temp_dir().join("sdc-ck-test-fp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("ck.json"), 1);
+        let ck = CampaignCheckpoint::empty(fp());
+        store.write(&ck).unwrap();
+        let mut other = fp();
+        other.seed = 9;
+        assert!(matches!(
+            CampaignCheckpoint::load(store.path(), &other),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        let mut stale = ck.clone();
+        stale.version = FORMAT_VERSION + 1;
+        store.write(&stale).unwrap();
+        assert!(matches!(
+            CampaignCheckpoint::load(store.path(), &fp()),
+            Err(CheckpointError::Version { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_and_corrupt_files() {
+        let dir = std::env::temp_dir().join("sdc-ck-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.json");
+        assert!(matches!(
+            CampaignCheckpoint::load(&missing, &fp()),
+            Err(CheckpointError::Io(_))
+        ));
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "{\"version\":").unwrap();
+        assert!(matches!(
+            CampaignCheckpoint::load(&garbled, &fp()),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,15 +18,26 @@
 //!   per-architecture failure rates of Tables 1 and 2.
 
 pub mod campaign;
+pub mod chaos;
+pub mod checkpoint;
 pub mod exposure;
 pub mod lifecycle;
 pub mod parallel;
 pub mod population;
 pub mod screening;
+pub mod supervisor;
 
-pub use campaign::{run_campaign, run_campaign_on, CampaignOutcome, Fate};
+pub use campaign::{
+    campaign_fingerprint, run_campaign, run_campaign_on, run_campaign_resumable,
+    run_campaign_supervised, CampaignOutcome, Fate, ResumableRun, SupervisedCampaign,
+};
+pub use chaos::{FaultPlan, OpFault};
+pub use checkpoint::{
+    CampaignCheckpoint, CheckpointError, CheckpointStore, Fingerprint, ItemRecord,
+};
 pub use exposure::{exposure_report, ExposureReport};
 pub use lifecycle::{Stage, StageSpec};
 pub use parallel::{resolve_threads, run_indexed};
 pub use population::{FleetConfig, FleetPopulation};
 pub use screening::{stage_detection_probability, StaticSuiteProfile, SuiteProfileCache};
+pub use supervisor::{run_slot, Attempt, AttritionStats, RetryPolicy, SlotError, SlotOutcome, SlotReport};

@@ -16,6 +16,13 @@ pub enum Stage {
     Regular,
 }
 
+serde::impl_json_unit_enum!(Stage {
+    Factory,
+    Datacenter,
+    Reinstall,
+    Regular,
+});
+
 impl Stage {
     /// Pre-production stages in lifecycle order, followed by `Regular`.
     pub const ORDER: [Stage; 4] = [

@@ -105,7 +105,8 @@ mod tests {
             // Forked streams model the real call sites: randomness is a
             // pure function of the item, not of execution order.
             let mut rng = DetRng::new(99).fork(x);
-            (0..(x % 7 + 1)).map(|_| rng.next_u64()).sum::<u64>()
+            // Wrapping: sums of random u64 draws overflow by design.
+            (0..(x % 7 + 1)).fold(0u64, |acc, _| acc.wrapping_add(rng.next_u64()))
         };
         let serial = run_indexed(&items, 1, work);
         for threads in [2, 3, 8, 16] {

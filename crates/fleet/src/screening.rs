@@ -50,7 +50,9 @@ fn walk(program: &Program) -> WalkSummary {
     let mut commits = 0f64;
     let mut mult: Vec<f64> = vec![1.0];
     for inst in program.insts() {
-        let m = *mult.last().expect("non-empty multiplier stack");
+        let m = *mult
+            .last()
+            .expect("invariant violated: the loop-multiplier stack always keeps its base entry");
         match *inst {
             Inst::LoopStart { count } => {
                 cycles += m;
@@ -59,7 +61,9 @@ fn walk(program: &Program) -> WalkSummary {
                 continue;
             }
             Inst::LoopEnd => {
-                let inner = mult.pop().expect("balanced loops");
+                let inner = mult
+                    .pop()
+                    .expect("invariant violated: LoopEnd must close a matching LoopStart");
                 cycles += inner;
                 energy += inner * InstClass::Control.energy();
                 continue;
@@ -119,7 +123,7 @@ impl StaticProfile {
             }
         }
         let (sites, cycles, energy, shared_writes, commits) =
-            best.expect("testcase with no programs");
+            best.expect("invariant violated: every testcase builds at least one program");
         let multithread = tc.threads > 1;
         StaticProfile {
             sites_per_cycle: sites.into_iter().map(|(k, v)| (k, v / cycles)).collect(),
@@ -242,6 +246,29 @@ impl SuiteProfileCache {
             ))
         })
         .clone()
+    }
+
+    /// Fallible [`SuiteProfileCache::get_or_build`]: when the fault
+    /// plan injects a transient profile-read error into the calling
+    /// attempt (`fail_attempt` is `Some`), the read fails *before*
+    /// touching the cache — nothing is cached, counters don't move, and
+    /// a retry with `fail_attempt == None` serves the identical profile.
+    /// The sentinel testcase id 0 marks a suite-level (not per-testcase)
+    /// read in the error.
+    pub fn get_or_build_fallible(
+        &self,
+        suite: &Suite,
+        machine_cores: usize,
+        build_threads: usize,
+        fail_attempt: Option<u32>,
+    ) -> Result<Arc<StaticSuiteProfile>, toolchain::ExecError> {
+        if let Some(attempt) = fail_attempt {
+            return Err(toolchain::ExecError::ProfileRead {
+                testcase: sdc_model::TestcaseId(0),
+                attempt,
+            });
+        }
+        Ok(self.get_or_build(suite, machine_cores, build_threads))
     }
 
     /// Current counters (evictions are always zero: core counts are

@@ -103,6 +103,61 @@ proptest! {
         prop_assert!(rate < 30e-4, "defective rate {rate}");
     }
 
+    /// Retry/backoff supervision is transparent: whenever a slot run
+    /// under a stormy fault plan eventually succeeds, its result is
+    /// identical to the same work run once with no supervision at all.
+    #[test]
+    fn supervision_never_changes_a_successful_slots_result(
+        plan_seed in any::<u64>(),
+        label in any::<u64>(),
+    ) {
+        use fleet::{run_slot, FaultPlan, RetryPolicy, SlotError};
+        use toolchain::{ExecConfig, Executor};
+
+        let mut prng = sdc_model::DetRng::new(label ^ 0xa5a5);
+        let p = silicon::population::sample_faulty_processor(
+            sdc_model::CpuId(9),
+            sdc_model::ArchId(2),
+            &mut prng,
+        );
+        let tcs = suite().testcases();
+        let tc = (0..tcs.len())
+            .map(|o| &tcs[(label as usize % tcs.len() + o) % tcs.len()])
+            .find(|tc| (tc.threads as u16) <= p.physical_cores)
+            .expect("invariant violated: every processor fits some testcase");
+        let cores: Vec<u16> = (0..tc.threads.max(1) as u16).collect();
+        // Fresh executor and re-forked RNG per attempt: the same recipe
+        // the supervised campaign uses to keep retries transparent.
+        let run_once = || {
+            let mut exec = Executor::new(&p, ExecConfig::default());
+            let mut rng = sdc_model::DetRng::new(777).fork(label);
+            exec.try_run(tc, &cores, Duration::from_secs(5), &mut rng)
+        };
+        let unsupervised = run_once().expect("no faults outside the supervisor");
+
+        let plan = FaultPlan {
+            seed: plan_seed,
+            offline: 0.25,
+            crash: 0.15,
+            preempt: 0.20,
+            read_error: 0.10,
+            timeout: 0.10,
+        };
+        let policy = RetryPolicy::default();
+        let slot = run_slot(&policy, &plan, label, |attempt| {
+            attempt.surface_fault()?;
+            run_once().map_err(SlotError::Exec)
+        });
+        match slot.result {
+            Some(run) => prop_assert_eq!(run, unsupervised, "supervised result drifted"),
+            None => prop_assert_eq!(
+                slot.report.attempts,
+                policy.max_attempts,
+                "slot lost before exhausting its attempt budget"
+            ),
+        }
+    }
+
     #[test]
     fn static_profiles_are_finite_and_nonnegative(idx in 0usize..633) {
         let tc = &suite().testcases()[idx];

@@ -176,7 +176,7 @@ fn build_single(
         WorkloadSpec::LockCounter { .. }
         | WorkloadSpec::ProducerConsumer { .. }
         | WorkloadSpec::TxCounter { .. } => {
-            panic!("consistency workload built as single-threaded")
+            panic!("invariant violated: consistency workloads only build as thread groups")
         }
     };
     if filler > 0 {
@@ -206,7 +206,7 @@ fn build_group(
         WorkloadSpec::TxCounter { rounds, dilution } => {
             (tx_counter(base, threads, rounds, iters), dilution)
         }
-        _ => panic!("computation workload built as group"),
+        _ => panic!("invariant violated: computation workloads only build single-threaded"),
     };
     if dilution > 0 {
         for piece in &mut pieces {

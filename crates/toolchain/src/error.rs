@@ -1,0 +1,115 @@
+//! Typed errors for the fallible executor surface.
+//!
+//! The fleet supervisor (PR 2) retries slots that fail for operational
+//! reasons; to make that possible the executor paths expose `Result`s
+//! with errors that distinguish *retryable* operational failures
+//! (transient profile reads, exceeded step budgets under injected
+//! faults) from caller bugs (which stay panics naming the violated
+//! invariant).
+
+use sdc_model::TestcaseId;
+
+/// Why a testcase execution could not produce a [`crate::TestcaseRun`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The caller selected no cores to run on.
+    NoCores,
+    /// A selected core does not exist on the package.
+    CoreOutOfRange {
+        /// The offending core id.
+        core: u16,
+        /// Physical cores on the package.
+        physical_cores: u16,
+    },
+    /// The plan names a core count smaller than the testcase's threads.
+    TooFewCores {
+        /// Cores supplied.
+        cores: usize,
+        /// Threads the testcase needs.
+        threads: usize,
+    },
+    /// A VM run exceeded its step budget (spin-heavy interleaving or an
+    /// injected runner fault).
+    StepBudget {
+        /// The testcase whose run overran.
+        testcase: TestcaseId,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// Reading (computing) the unit profile failed transiently — the
+    /// operational-fault model's "profile read error". Retryable: the
+    /// profile is a pure function of its key, so a later attempt with
+    /// the same key yields the identical profile.
+    ProfileRead {
+        /// The testcase whose profile read failed.
+        testcase: TestcaseId,
+        /// Which read attempt this was (0-based), for log context.
+        attempt: u32,
+    },
+}
+
+impl ExecError {
+    /// True for failures worth retrying (transient by construction).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecError::ProfileRead { .. })
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NoCores => write!(f, "no cores selected"),
+            ExecError::CoreOutOfRange {
+                core,
+                physical_cores,
+            } => write!(f, "core {core} out of range (package has {physical_cores})"),
+            ExecError::TooFewCores { cores, threads } => {
+                write!(f, "{cores} cores for a {threads}-thread testcase")
+            }
+            ExecError::StepBudget { testcase, budget } => {
+                write!(f, "testcase {} exceeded {budget} VM steps", testcase.0)
+            }
+            ExecError::ProfileRead { testcase, attempt } => write!(
+                f,
+                "transient profile-read error for testcase {} (attempt {attempt})",
+                testcase.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(ExecError::ProfileRead {
+            testcase: TestcaseId(3),
+            attempt: 0
+        }
+        .is_transient());
+        assert!(!ExecError::NoCores.is_transient());
+        assert!(!ExecError::StepBudget {
+            testcase: TestcaseId(1),
+            budget: 10
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ExecError::CoreOutOfRange {
+            core: 9,
+            physical_cores: 8,
+        };
+        assert!(e.to_string().contains("core 9"));
+        let e = ExecError::ProfileRead {
+            testcase: TestcaseId(77),
+            attempt: 2,
+        };
+        assert!(e.to_string().contains("77"));
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::builders;
 use crate::cache::{CachedUnitProfile, ProfileCache, ProfileKey};
+use crate::error::ExecError;
 use crate::profile::Profiler;
 use crate::testcase::{CheckKind, Invariant, OutputRegion, Testcase};
 use rand::RngCore as _;
@@ -119,8 +120,12 @@ pub(crate) struct CoreProfile {
     tx_conflicts_per_sec: f64,
 }
 
+/// Operational-fault hook for profile reads: `(key, read attempt)` →
+/// "this read fails". Must be a pure function of its arguments for
+/// deterministic campaigns.
+pub type ProfileFaultHook = Arc<dyn Fn(&ProfileKey, u32) -> bool + Send + Sync>;
+
 /// Executes testcases against one (possibly defective) processor.
-#[derive(Debug)]
 pub struct Executor<'p> {
     /// The processor under test.
     pub processor: &'p Processor,
@@ -131,6 +136,25 @@ pub struct Executor<'p> {
     cfg: ExecConfig,
     /// Shared unit-profile memoization; `None` computes every profile.
     cache: Option<Arc<ProfileCache>>,
+    /// Operational-fault hook for profile reads: when it returns `true`
+    /// for a key, that read fails with [`ExecError::ProfileRead`]. Used
+    /// by the chaos layer to model transient infrastructure errors; the
+    /// hook must be a pure function of its arguments for determinism.
+    profile_fault: Option<ProfileFaultHook>,
+    /// Profile reads attempted so far (feeds the fault hook's attempt
+    /// counter and the supervisor's per-item accounting).
+    profile_reads: u32,
+}
+
+impl std::fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("processor", &self.processor.id)
+            .field("cfg", &self.cfg)
+            .field("cached", &self.cache.is_some())
+            .field("profile_fault_hook", &self.profile_fault.is_some())
+            .finish()
+    }
 }
 
 impl<'p> Executor<'p> {
@@ -142,6 +166,8 @@ impl<'p> Executor<'p> {
             clock: VirtualClock::new(),
             cfg,
             cache: None,
+            profile_fault: None,
+            profile_reads: 0,
         }
     }
 
@@ -159,6 +185,15 @@ impl<'p> Executor<'p> {
         self.cache = cache;
     }
 
+    /// Installs an operational-fault hook for profile reads. The hook is
+    /// called with the profile key and a 0-based read-attempt counter;
+    /// returning `true` fails that read with [`ExecError::ProfileRead`].
+    /// For deterministic campaigns the hook must be a pure function of
+    /// its arguments (e.g. a seeded fault-plan draw).
+    pub fn set_profile_fault_hook(&mut self, hook: Option<ProfileFaultHook>) {
+        self.profile_fault = hook;
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &ExecConfig {
         &self.cfg
@@ -174,20 +209,60 @@ impl<'p> Executor<'p> {
     /// [`ProfileKey`] — the RNG driving the unit run is derived from the
     /// key, not from the caller's stream — so every executor observes the
     /// same profile for the same key.
-    fn profile_unit(&self, tc: &Testcase, cores: &[u16]) -> Arc<CachedUnitProfile> {
+    ///
+    /// Fails with [`ExecError::ProfileRead`] when the installed fault
+    /// hook fires for this read; nothing is cached in that case, so a
+    /// retry re-reads (and, absent another fault, succeeds with the
+    /// identical profile).
+    fn try_profile_unit(
+        &mut self,
+        tc: &Testcase,
+        cores: &[u16],
+    ) -> Result<Arc<CachedUnitProfile>, ExecError> {
         let key = ProfileKey::of(tc.id, cores.len(), &self.cfg);
-        match &self.cache {
+        let attempt = self.profile_reads;
+        self.profile_reads = self.profile_reads.wrapping_add(1);
+        if let Some(hook) = &self.profile_fault {
+            if hook(&key, attempt) {
+                return Err(ExecError::ProfileRead {
+                    testcase: tc.id,
+                    attempt,
+                });
+            }
+        }
+        Ok(match &self.cache {
             Some(cache) => cache.get_or_compute(key, || compute_unit_profile(tc, key, &self.cfg)),
             None => Arc::new(compute_unit_profile(tc, key, &self.cfg)),
+        })
+    }
+
+    /// Validates the core selection shared by both run modes.
+    fn check_cores(&self, tc: &Testcase, cores: &[u16]) -> Result<(), ExecError> {
+        if cores.is_empty() {
+            return Err(ExecError::NoCores);
         }
+        if let Some(&bad) = cores.iter().find(|&&c| c >= self.processor.physical_cores) {
+            return Err(ExecError::CoreOutOfRange {
+                core: bad,
+                physical_cores: self.processor.physical_cores,
+            });
+        }
+        if cores.len() < tc.threads as usize {
+            return Err(ExecError::TooFewCores {
+                cores: cores.len(),
+                threads: tc.threads as usize,
+            });
+        }
+        Ok(())
     }
 
     /// Accelerated run of `tc` on physical `cores` for `duration`.
     ///
     /// # Panics
     ///
-    /// Panics if `cores` is empty, names a core beyond the package, or is
-    /// smaller than the testcase's thread count.
+    /// Panics if the core selection violates [`Executor::try_run`]'s
+    /// invariants or an installed profile-fault hook fires — infallible
+    /// callers (studies, figures) never install one.
     pub fn run(
         &mut self,
         tc: &Testcase,
@@ -195,12 +270,22 @@ impl<'p> Executor<'p> {
         duration: Duration,
         rng: &mut DetRng,
     ) -> TestcaseRun {
-        assert!(!cores.is_empty(), "no cores selected");
-        assert!(
-            cores.iter().all(|&c| c < self.processor.physical_cores),
-            "core out of range"
-        );
-        let unit = self.profile_unit(tc, cores);
+        self.try_run(tc, cores, duration, rng)
+            .unwrap_or_else(|e| panic!("invariant violated: executor run of {}: {e}", tc.name))
+    }
+
+    /// Fallible accelerated run: validates the core selection and the
+    /// profile read instead of panicking, so a supervisor can retry
+    /// transient failures.
+    pub fn try_run(
+        &mut self,
+        tc: &Testcase,
+        cores: &[u16],
+        duration: Duration,
+        rng: &mut DetRng,
+    ) -> Result<TestcaseRun, ExecError> {
+        self.check_cores(tc, cores)?;
+        let unit = self.try_profile_unit(tc, cores)?;
         let profiles = &unit.profiles;
         let sampler_samples = &unit.profiler;
 
@@ -339,7 +424,7 @@ impl<'p> Executor<'p> {
             }
         }
         self.clock.advance(duration);
-        TestcaseRun {
+        Ok(TestcaseRun {
             testcase: tc.id,
             cores: cores.to_vec(),
             duration,
@@ -352,7 +437,7 @@ impl<'p> Executor<'p> {
                 0.0
             },
             max_temp_c: if max_temp.is_finite() { max_temp } else { 0.0 },
-        }
+        })
     }
 
     fn push_consistency(
@@ -387,6 +472,10 @@ impl<'p> Executor<'p> {
     /// output mismatches (computation testcases) or invariant violations
     /// (consistency testcases). Temperatures are taken from the current
     /// thermal state and held for the (short) run.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Executor::try_run_vm`] would return an error.
     pub fn run_vm(
         &mut self,
         tc: &Testcase,
@@ -394,42 +483,61 @@ impl<'p> Executor<'p> {
         iters: u32,
         rng: &mut DetRng,
     ) -> TestcaseRun {
-        assert!(!cores.is_empty(), "no cores selected");
+        self.try_run_vm(tc, cores, iters, rng)
+            .unwrap_or_else(|e| panic!("invariant violated: VM run of {}: {e}", tc.name))
+    }
+
+    /// Fallible full-VM validation run: a spin-heavy interleaving that
+    /// exceeds the step budget surfaces as [`ExecError::StepBudget`]
+    /// instead of a panic, so supervised suites can retry or skip it.
+    pub fn try_run_vm(
+        &mut self,
+        tc: &Testcase,
+        cores: &[u16],
+        iters: u32,
+        rng: &mut DetRng,
+    ) -> Result<TestcaseRun, ExecError> {
+        self.check_cores(tc, cores)?;
         let seed = rng.next_u64();
         let built = builders::build(tc, cores.len(), iters, seed);
 
-        let run_machine = |hook_faulty: bool, rng: &mut DetRng, thermal: &ThermalModel| {
-            let mut machine = Machine::new(cores.len(), built.mem_bytes);
-            for &(addr, val) in &built.mem_init {
-                machine.mem.raw_write_u64(addr, val);
-            }
-            for (c, p) in built.programs.iter().enumerate() {
-                if let Some(p) = p {
-                    machine.load(c, p.clone());
+        let run_machine =
+            |hook_faulty: bool, rng: &mut DetRng, thermal: &ThermalModel| -> Result<Machine, ExecError> {
+                let mut machine = Machine::new(cores.len(), built.mem_bytes);
+                for &(addr, val) in &built.mem_init {
+                    machine.mem.raw_write_u64(addr, val);
                 }
-            }
-            let mut interleave = rng.fork(0x5150);
-            if hook_faulty {
-                let temps: Vec<f64> = cores.iter().map(|&c| thermal.temp(c as usize)).collect();
-                // Only the defects whose trigger paths this testcase
-                // reaches participate (§4.1's selectivity).
-                let mut gated = self.processor.clone();
-                gated.defects.retain(|d| d.applies_to(tc.id));
-                let mut injector = Injector::new(&gated, cores.to_vec(), 45.0, rng.fork(0x1f));
-                injector.set_temps(&temps);
-                let out = machine.run(&mut injector, &mut interleave, self.cfg.max_unit_steps);
-                assert!(out.completed, "faulty VM run exceeded step budget");
-            } else {
-                let out = machine.run(&mut NoFaults, &mut interleave, self.cfg.max_unit_steps);
-                assert!(out.completed, "golden VM run exceeded step budget");
-            }
-            machine
-        };
+                for (c, p) in built.programs.iter().enumerate() {
+                    if let Some(p) = p {
+                        machine.load(c, p.clone());
+                    }
+                }
+                let mut interleave = rng.fork(0x5150);
+                let out = if hook_faulty {
+                    let temps: Vec<f64> = cores.iter().map(|&c| thermal.temp(c as usize)).collect();
+                    // Only the defects whose trigger paths this testcase
+                    // reaches participate (§4.1's selectivity).
+                    let mut gated = self.processor.clone();
+                    gated.defects.retain(|d| d.applies_to(tc.id));
+                    let mut injector = Injector::new(&gated, cores.to_vec(), 45.0, rng.fork(0x1f));
+                    injector.set_temps(&temps);
+                    machine.run(&mut injector, &mut interleave, self.cfg.max_unit_steps)
+                } else {
+                    machine.run(&mut NoFaults, &mut interleave, self.cfg.max_unit_steps)
+                };
+                if !out.completed {
+                    return Err(ExecError::StepBudget {
+                        testcase: tc.id,
+                        budget: self.cfg.max_unit_steps,
+                    });
+                }
+                Ok(machine)
+            };
 
         let mut golden_rng = rng.fork(1);
         let mut faulty_rng = rng.fork(2);
-        let golden = run_machine(false, &mut golden_rng, &self.thermal);
-        let faulty = run_machine(true, &mut faulty_rng, &self.thermal);
+        let golden = run_machine(false, &mut golden_rng, &self.thermal)?;
+        let faulty = run_machine(true, &mut faulty_rng, &self.thermal)?;
 
         let mut records = Vec::new();
         let temp = self.thermal.max_temp();
@@ -492,7 +600,7 @@ impl<'p> Executor<'p> {
             golden.cycles.iter().copied().max().unwrap_or(0) as f64 / self.cfg.clock_hz,
         );
         self.clock.advance(duration);
-        TestcaseRun {
+        Ok(TestcaseRun {
             testcase: tc.id,
             cores: cores.to_vec(),
             duration,
@@ -501,7 +609,7 @@ impl<'p> Executor<'p> {
             errors_per_core,
             mean_temp_c: temp,
             max_temp_c: temp,
-        }
+        })
     }
 }
 

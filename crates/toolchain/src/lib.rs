@@ -23,6 +23,7 @@
 
 pub mod builders;
 pub mod cache;
+pub mod error;
 pub mod executor;
 pub mod framework;
 pub mod profile;
@@ -30,7 +31,8 @@ pub mod suite;
 pub mod testcase;
 
 pub use cache::{CacheStats, ProfileCache, ProfileKey};
-pub use executor::{ExecConfig, Executor, TestcaseRun};
-pub use framework::{run_plan, run_plan_cached, PlanEntry, TestPlan, TestReport};
+pub use error::ExecError;
+pub use executor::{ExecConfig, Executor, ProfileFaultHook, TestcaseRun};
+pub use framework::{run_plan, run_plan_cached, try_run_plan_cached, PlanEntry, TestPlan, TestReport};
 pub use suite::Suite;
 pub use testcase::{BuiltTestcase, CheckKind, Invariant, OutputRegion, Testcase, WorkloadKind};

@@ -14,4 +14,15 @@ cargo test -q
 echo "== tier-1: parallel determinism (threads=1 vs threads=8) =="
 cargo test -q --release --test parallel_determinism
 
+echo "== tier-1: chaos determinism (storm + kill/resume) =="
+cargo test -q --release --test chaos_determinism
+
+echo "== tier-1: chaos smoke run (--quick --chaos) =="
+ck="$(mktemp -u "${TMPDIR:-/tmp}/tier1-chaos-XXXXXX.json")"
+./target/release/repro table1 --quick --chaos "offline=0.05,preempt=0.10,seed=7" --checkpoint "$ck"
+rm -f "$ck"
+
+echo "== tier-1: clippy (chaos-touched crates) =="
+cargo clippy -q -p toolchain -p fleet -p farron -p analysis -p sdc-repro -- -D warnings
+
 echo "tier-1: OK"

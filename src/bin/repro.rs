@@ -11,59 +11,128 @@
 //! `ext` prints the §4.2/§5/§6.2 extensions: suspect localization,
 //! cooling-device control, asymmetric coding, fail-in-place capacity).
 //! `--quick` shrinks durations for a fast smoke pass.
+//!
+//! Operational robustness: `--chaos <spec>` exposes the campaign
+//! (table1/table2) and the Farron evaluation (table4/fig11) to a seeded
+//! fault plan; `--checkpoint <path>` snapshots campaign progress so a
+//! killed run can continue with `--resume <path>`, bitwise identical to
+//! an uninterrupted run.
 
 use analysis::study::{run_deep_study, StudyConfig, StudyData};
 use analysis::{
     bitflips, casebook, datatypes, features, observations, patterns, precision, reproducibility,
-    temperature,
+    temperature, AttritionReport,
 };
-use farron::eval::{evaluate, EvalConfig};
-use fleet::{run_campaign, FleetConfig};
+use farron::eval::{evaluate, evaluate_chaos, EvalConfig};
+use fleet::{
+    campaign_fingerprint, run_campaign, run_campaign_resumable, CampaignCheckpoint,
+    CampaignOutcome, CheckpointStore, FaultPlan, FleetConfig, FleetPopulation, ResumableRun,
+    RetryPolicy,
+};
 use sdc_model::{DataType, Duration};
+use std::path::PathBuf;
 use toolchain::Suite;
 
+/// Everything `repro` accepts after its own name.
+const ARTIFACTS: &[&str] = &[
+    "all", "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "fig11", "obs", "ftol", "ext",
+];
+
+/// Campaign items between checkpoint snapshots.
+const CHECKPOINT_EVERY: usize = 64;
+
+#[derive(Debug, Clone, PartialEq)]
 struct Opts {
     quick: bool,
     threads: usize,
+    chaos: Option<FaultPlan>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
     artifacts: Vec<String>,
 }
 
-fn parse_args() -> Opts {
-    let mut quick = false;
-    let mut threads = 0usize;
-    let mut artifacts = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+#[derive(Debug, Clone, PartialEq)]
+enum Parsed {
+    Run(Opts),
+    Help,
+}
+
+/// Strict argument parser: unknown flags and unknown artifact names are
+/// errors (the caller exits nonzero), never silently collected.
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let mut opts = Opts {
+        quick: false,
+        threads: 0,
+        chaos: None,
+        checkpoint: None,
+        resume: None,
+        artifacts: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
+            "--quick" => opts.quick = true,
             "--threads" => {
-                let v = args.next().unwrap_or_else(|| {
-                    eprintln!("--threads needs a value");
-                    std::process::exit(2);
-                });
-                threads = v.parse().unwrap_or_else(|_| {
-                    eprintln!("--threads needs an unsigned integer, got {v:?}");
-                    std::process::exit(2);
-                });
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threads needs a value".to_string())?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads needs an unsigned integer, got '{v}'"))?;
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro [--quick] [--threads N] [all|table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig11|obs|ftol]...\n\
-                     \n  --threads N   worker threads for campaign/study/eval (0 = all cores);\n                results are bitwise identical for every value"
-                );
-                std::process::exit(0);
+            "--chaos" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--chaos needs a fault-plan spec".to_string())?;
+                opts.chaos = Some(FaultPlan::parse(v).map_err(|e| format!("--chaos: {e}"))?);
             }
-            other => artifacts.push(other.to_string()),
+            "--checkpoint" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--checkpoint needs a path".to_string())?;
+                opts.checkpoint = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--resume needs a path".to_string())?;
+                opts.resume = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            other => {
+                if !ARTIFACTS.contains(&other) {
+                    return Err(format!(
+                        "unknown artifact '{other}' (expected one of: {})",
+                        ARTIFACTS.join(" ")
+                    ));
+                }
+                opts.artifacts.push(other.to_string());
+            }
         }
     }
-    if artifacts.is_empty() {
-        artifacts.push("all".to_string());
+    if opts.artifacts.is_empty() {
+        opts.artifacts.push("all".to_string());
     }
-    Opts {
-        quick,
-        threads,
-        artifacts,
-    }
+    Ok(Parsed::Run(opts))
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [--threads N] [--chaos SPEC] [--checkpoint PATH] [--resume PATH] [{}]...\n\
+         \n\
+         \x20 --threads N        worker threads for campaign/study/eval (0 = all cores);\n\
+         \x20                    results are bitwise identical for every value\n\
+         \x20 --chaos SPEC       inject operational faults into the campaign and the\n\
+         \x20                    Farron evaluation; SPEC is a key=value comma list over\n\
+         \x20                    offline, crash, preempt, read_error, timeout (probabilities)\n\
+         \x20                    and seed, e.g. 'offline=0.05,preempt=0.1,seed=7'\n\
+         \x20 --checkpoint PATH  snapshot campaign progress to PATH every {CHECKPOINT_EVERY} items\n\
+         \x20 --resume PATH      restore completed items from PATH before running\n\
+         \x20                    (also keeps snapshotting there unless --checkpoint is given)",
+        ARTIFACTS.join("|")
+    )
 }
 
 /// Lazily shared expensive inputs.
@@ -91,7 +160,9 @@ impl Lazy {
             };
             self.study = Some(run_deep_study(&cfg));
         }
-        self.study.as_ref().expect("just initialized")
+        self.study
+            .as_ref()
+            .expect("invariant violated: the study is populated by the branch above")
     }
 }
 
@@ -99,7 +170,7 @@ fn hr(title: &str) {
     println!("\n==== {title} ====");
 }
 
-fn table1_and_2(lazy: &Lazy) {
+fn table1_and_2(lazy: &Lazy, opts: &Opts) {
     let cfg = FleetConfig {
         total_cpus: if lazy.quick { 200_000 } else { 1_050_000 },
         seed: 2021,
@@ -109,7 +180,62 @@ fn table1_and_2(lazy: &Lazy) {
         "[repro] running the fleet campaign over {} CPUs…",
         cfg.total_cpus
     );
-    let out = run_campaign(&cfg, &lazy.suite);
+    let supervised = opts.chaos.is_some() || opts.checkpoint.is_some() || opts.resume.is_some();
+    if !supervised {
+        print_tables_1_2(&run_campaign(&cfg, &lazy.suite));
+        return;
+    }
+
+    let plan = opts.chaos.unwrap_or_default();
+    let policy = RetryPolicy::default();
+    let fingerprint = campaign_fingerprint(&cfg, &plan);
+    let resume = opts.resume.as_ref().map(|path| {
+        match CampaignCheckpoint::load(path, &fingerprint) {
+            Ok(ck) => {
+                eprintln!(
+                    "[repro] resuming from {} ({} completed items)",
+                    path.display(),
+                    ck.items.len()
+                );
+                ck
+            }
+            Err(e) => {
+                eprintln!("repro: cannot resume: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let store = opts
+        .checkpoint
+        .clone()
+        .or_else(|| opts.resume.clone())
+        .map(|path| CheckpointStore::new(path, CHECKPOINT_EVERY));
+    let pop = FleetPopulation::sample(&cfg);
+    match run_campaign_resumable(
+        &cfg,
+        &lazy.suite,
+        &pop,
+        &plan,
+        &policy,
+        store.as_ref(),
+        resume.as_ref(),
+    ) {
+        Ok(ResumableRun::Completed(run)) => {
+            print_tables_1_2(&run.outcome);
+            hr("Operational robustness — campaign coverage and attrition");
+            println!("{}", AttritionReport::of(&run));
+        }
+        Ok(ResumableRun::Interrupted) => {
+            unreachable!("invariant violated: no kill hook is configured from the CLI")
+        }
+        Err(e) => {
+            eprintln!("repro: checkpoint failure: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_tables_1_2(out: &CampaignOutcome) {
     hr("Table 1 — failure rate (‱) by test timing");
     println!("{:<12} {:>10} {:>10}", "timing", "measured", "paper");
     for ((label, measured), (_, paper)) in out
@@ -120,7 +246,7 @@ fn table1_and_2(lazy: &Lazy) {
         println!("{label:<12} {measured:>10.3} {paper:>10.3}");
     }
     println!("(escaped defective processors: {})", out.escaped());
-    let exposure = fleet::exposure_report(&out);
+    let exposure = fleet::exposure_report(out);
     println!(
         "(production exposure: {} CPUs reached production; regular tests caught {} after {:.0} days on average, worst {:.0}; {} never caught — §3.1's window)",
         exposure.reached_production,
@@ -313,7 +439,9 @@ fn fig8(lazy: &Lazy) {
         ),
     ];
     for (name, didx, core, prefix, temps) in panels {
-        let processor = silicon::catalog::by_name(name).expect("catalog").processor;
+        let processor = silicon::catalog::by_name(name)
+            .expect("invariant violated: figure 8 panels name catalog processors")
+            .processor;
         let defect = processor.defects[didx].clone();
         let core = core.unwrap_or_else(|| {
             (0..processor.physical_cores)
@@ -321,7 +449,7 @@ fn fig8(lazy: &Lazy) {
                     defect
                         .rate(a, 70.0)
                         .partial_cmp(&defect.rate(b, 70.0))
-                        .expect("finite")
+                        .expect("invariant violated: defect rates are finite")
                 })
                 .unwrap_or(0)
         });
@@ -331,7 +459,7 @@ fn fig8(lazy: &Lazy) {
             .iter()
             .filter(|t| t.name.starts_with(prefix))
             .find(|t| defect.applies_to(t.id))
-            .expect("applicable testcase")
+            .expect("invariant violated: every figure 8 panel defect matches a suite testcase")
             .id;
         let sweep =
             temperature::temperature_sweep(&processor, &lazy.suite, tc, core, &temps, window, 88);
@@ -370,7 +498,10 @@ fn fig9(lazy: &mut Lazy) {
         // (and the paper's per-setting points come from its deep-study
         // reproducers).
         let mut ranked = case.freq_per_setting.clone();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite freq"));
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("invariant violated: setting frequencies are finite")
+        });
         let mut picked: Vec<(u16, sdc_model::TestcaseId)> = Vec::new();
         for &(s, _) in &ranked {
             if picked.len() >= 2 {
@@ -412,7 +543,7 @@ fn fig9(lazy: &mut Lazy) {
     }
 }
 
-fn table4_and_fig11(lazy: &Lazy) {
+fn table4_and_fig11(lazy: &Lazy, opts: &Opts) {
     eprintln!("[repro] running the Farron evaluation…");
     let cfg = EvalConfig {
         reference_per_testcase: if lazy.quick {
@@ -424,7 +555,13 @@ fn table4_and_fig11(lazy: &Lazy) {
         threads: lazy.threads,
         ..EvalConfig::default()
     };
-    let rows = evaluate(&cfg);
+    let (rows, attrition) = match &opts.chaos {
+        Some(plan) => {
+            let (rows, attrition) = evaluate_chaos(&cfg, plan, &RetryPolicy::default());
+            (rows, Some(attrition))
+        }
+        None => (evaluate(&cfg), None),
+    };
     hr("Figure 11 — one-round regular-testing coverage");
     println!(
         "{:<7} {:>7} {:>9} {:>9}",
@@ -459,6 +596,10 @@ fn table4_and_fig11(lazy: &Lazy) {
         mean_round,
         rows.first().map(|r| r.baseline_round_hours).unwrap_or(0.0)
     );
+    if let Some(attrition) = attrition {
+        hr("Operational robustness — evaluation test windows");
+        println!("{}", AttritionReport::from_parts(attrition, Vec::new()));
+    }
 }
 
 fn observations_summary(lazy: &mut Lazy) {
@@ -555,7 +696,7 @@ fn extensions(lazy: &mut Lazy) {
         use farron::{simulate_online, AppProfile, ControlMode, OnlineConfig};
         use sdc_model::DetRng;
         let mix1 = silicon::catalog::by_name("MIX1")
-            .expect("catalog")
+            .expect("invariant violated: MIX1 is a catalog processor")
             .processor;
         let tricky = mix1.defects[1].clone();
         let tc = suite
@@ -563,7 +704,7 @@ fn extensions(lazy: &mut Lazy) {
             .iter()
             .filter(|t| t.name.starts_with("fpu/f64/fam2"))
             .find(|t| tricky.applies_to(t.id))
-            .expect("applicable workload")
+            .expect("invariant violated: MIX1's tricky defect matches a suite workload")
             .id;
         let app = AppProfile {
             testcase: tc,
@@ -638,7 +779,19 @@ fn ftol_audit() {
 }
 
 fn main() {
-    let opts = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Parsed::Run(opts)) => opts,
+        Ok(Parsed::Help) => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
     let mut lazy = Lazy {
         quick: opts.quick,
         threads: opts.threads,
@@ -647,7 +800,7 @@ fn main() {
     };
     let want = |name: &str| opts.artifacts.iter().any(|a| a == name || a == "all");
     if want("table1") || want("table2") {
-        table1_and_2(&lazy);
+        table1_and_2(&lazy, &opts);
     }
     if want("table3") {
         table3(&mut lazy);
@@ -674,7 +827,7 @@ fn main() {
         observations_summary(&mut lazy);
     }
     if want("table4") || want("fig11") {
-        table4_and_fig11(&lazy);
+        table4_and_fig11(&lazy, &opts);
     }
     if want("ftol") {
         ftol_audit();
@@ -685,4 +838,87 @@ fn main() {
     println!(
         "\n(figures 1 and 10 are workflow diagrams: see fleet::Stage and farron::StateMachine)"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run(raw: &[&str]) -> Opts {
+        match parse_args(&args(raw)).expect("valid args") {
+            Parsed::Run(opts) => opts,
+            Parsed::Help => panic!("unexpected help"),
+        }
+    }
+
+    #[test]
+    fn defaults_to_all_artifacts() {
+        let opts = run(&[]);
+        assert_eq!(opts.artifacts, vec!["all".to_string()]);
+        assert!(!opts.quick);
+        assert_eq!(opts.threads, 0);
+        assert_eq!(opts.chaos, None);
+    }
+
+    #[test]
+    fn parses_flags_and_artifacts() {
+        let opts = run(&[
+            "table1",
+            "--quick",
+            "--threads",
+            "4",
+            "--chaos",
+            "offline=0.05,preempt=0.1,seed=7",
+            "--checkpoint",
+            "ck.json",
+            "--resume",
+            "old.json",
+            "fig8",
+        ]);
+        assert!(opts.quick);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.artifacts, vec!["table1".to_string(), "fig8".to_string()]);
+        let plan = opts.chaos.expect("chaos plan");
+        assert_eq!(plan.offline, 0.05);
+        assert_eq!(plan.preempt, 0.1);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(opts.checkpoint, Some(PathBuf::from("ck.json")));
+        assert_eq!(opts.resume, Some(PathBuf::from("old.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown flag '--frobnicate'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_artifacts() {
+        let err = parse_args(&args(&["table9"])).unwrap_err();
+        assert!(err.contains("unknown artifact 'table9'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_values() {
+        assert!(parse_args(&args(&["--threads"])).is_err());
+        assert!(parse_args(&args(&["--threads", "many"])).is_err());
+        assert!(parse_args(&args(&["--chaos"])).is_err());
+        assert!(parse_args(&args(&["--chaos", "offline=2.0"])).is_err());
+        assert!(parse_args(&args(&["--chaos", "gremlins=0.5"])).is_err());
+        assert!(parse_args(&args(&["--checkpoint"])).is_err());
+        assert!(parse_args(&args(&["--resume"])).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(
+            parse_args(&args(&["--help", "--frobnicate"])).expect("help wins"),
+            Parsed::Help
+        );
+        assert!(usage().contains("--chaos"));
+    }
 }
