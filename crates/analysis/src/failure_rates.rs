@@ -6,7 +6,8 @@
 
 use fleet::{CampaignOutcome, Stage};
 
-/// The paper's Table 1 reference values in ‱.
+/// The paper's Table 1 reference values in ‱ (§3.1; the four timing
+/// rows sum to the 3.61‱ total of Observation 1).
 pub const PAPER_TABLE1_BP: [(&str, f64); 5] = [
     ("Factory", 0.776),
     ("Datacenter", 0.18),
@@ -15,7 +16,8 @@ pub const PAPER_TABLE1_BP: [(&str, f64); 5] = [
     ("Total", 3.61),
 ];
 
-/// The paper's Table 2 reference values in ‱ (M1..M9, then avg).
+/// The paper's Table 2 reference values in ‱ (§3.2, M1..M9 then avg;
+/// Observation 3's spread is M4's 0.082 to M8's 9.29).
 pub const PAPER_TABLE2_BP: [f64; 10] = [
     4.619, 0.352, 2.649, 0.082, 0.759, 3.251, 1.599, 9.29, 4.646, 3.61,
 ];

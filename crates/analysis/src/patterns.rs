@@ -10,8 +10,8 @@
 use sdc_model::{DataType, SdcRecord, SettingId};
 use std::collections::HashMap;
 
-/// The paper's pattern threshold: a mask is a pattern if ≥5% of the
-/// setting's records carry it.
+/// The paper's pattern threshold (§4.3, Figure 6 / Observation 8): a
+/// mask is a pattern if ≥5% of the setting's records carry it.
 pub const PATTERN_THRESHOLD: f64 = 0.05;
 
 /// Pattern analysis of one setting.

@@ -87,6 +87,13 @@ pub fn rank_suspects(
     suspects
 }
 
+/// The localization bar used by `repro ext` and the tests: the top
+/// class must be used 5× more per cycle in failing than in passing
+/// testcases. The paper states no numeric bar for §4.1's narrowing-down;
+/// 5× is this reproduction's choice, set so the atan/FMA defects clear
+/// it decisively while CNST's flat instruction mix never does.
+pub const LOCALIZE_MIN_SCORE: f64 = 5.0;
+
 /// True when the ranking cleanly localizes a suspect: the top class is
 /// used at least `min_score` times more per cycle in failing testcases
 /// than in passing ones. Coherence defects never clear a meaningful bar —
@@ -141,7 +148,7 @@ mod tests {
             "top suspects {:?} should include an arctangent class",
             suspects.iter().take(3).map(|s| s.class).collect::<Vec<_>>()
         );
-        assert!(localizes(&suspects, 5.0), "FPU1 localizes cleanly");
+        assert!(localizes(&suspects, LOCALIZE_MIN_SCORE), "FPU1 localizes cleanly");
     }
 
     #[test]
@@ -171,7 +178,7 @@ mod tests {
         // All consistency testcases share the same lock/load/store mix, so
         // no class separates failing from passing runs strongly.
         assert!(
-            !localizes(&suspects, 5.0),
+            !localizes(&suspects, LOCALIZE_MIN_SCORE),
             "coherence defects have no suspect instruction: {:?}",
             suspects.first()
         );

@@ -238,6 +238,118 @@ mod tests {
     }
 
     #[test]
+    fn empty_plan_round_is_a_clean_noop() {
+        let suite = Suite::standard();
+        let simd1 = catalog::by_name("SIMD1").unwrap().processor;
+        let out = run_plan_requeue(
+            &simd1,
+            &suite,
+            &TestPlan { entries: vec![] },
+            ExecConfig::default(),
+            &DetRng::new(55),
+            None,
+            0xabc,
+            &storm(),
+            &RetryPolicy::default(),
+        );
+        assert!(out.report.runs.is_empty());
+        assert!(out.lost.is_empty());
+        assert_eq!(out.attrition.retries, 0);
+        assert_eq!(out.attrition.total_faults(), 0);
+        // An empty round covers everything it was asked to cover.
+        assert_eq!(out.attrition.coverage(), 1.0);
+    }
+
+    #[test]
+    fn zero_duration_window_completes_without_panicking() {
+        let suite = Suite::standard();
+        let simd1 = catalog::by_name("SIMD1").unwrap().processor;
+        let plan = TestPlan {
+            entries: vec![PlanEntry {
+                testcase: TestcaseId(0),
+                duration: Duration::from_secs(0),
+            }],
+        };
+        let out = run_plan_requeue(
+            &simd1,
+            &suite,
+            &plan,
+            ExecConfig::default(),
+            &DetRng::new(55),
+            None,
+            0xabc,
+            &FaultPlan::default(),
+            &RetryPolicy::default(),
+        );
+        assert!(out.lost.is_empty());
+        assert_eq!(out.report.runs.len(), 1);
+        assert!(out.report.runs[0].records.is_empty());
+    }
+
+    #[test]
+    fn interruption_at_the_last_slot_is_requeued_transparently() {
+        // A fault plan crafted (by seed search) to hit ONLY the round's
+        // final window on its first attempt: the retry lands after every
+        // other window has drained, the exact situation where a
+        // position-derived RNG would silently shift results.
+        let suite = Suite::standard();
+        let simd1 = catalog::by_name("SIMD1").unwrap().processor;
+        let plan = mini_plan(&suite);
+        let last = plan.entries.len() - 1;
+        let policy = RetryPolicy::default();
+        let chaos = (0..20_000u64)
+            .map(|seed| FaultPlan {
+                seed,
+                preempt: 0.05,
+                ..FaultPlan::default()
+            })
+            .find(|fp| {
+                (0..plan.entries.len()).all(|idx| {
+                    let label = slot_label(0xabc, idx);
+                    (0..policy.max_attempts).all(|attempt| {
+                        let faulted = fp.draw(label, attempt).is_some();
+                        // Last slot faults on attempt 0 only; the rest
+                        // never fault.
+                        faulted == (idx == last && attempt == 0)
+                    })
+                })
+            })
+            .expect("some seed interrupts exactly the last slot");
+        let root = DetRng::new(55);
+        let quiet = run_plan_requeue(
+            &simd1,
+            &suite,
+            &plan,
+            ExecConfig::default(),
+            &root,
+            None,
+            0xabc,
+            &FaultPlan::default(),
+            &RetryPolicy::default(),
+        );
+        let stormy = run_plan_requeue(
+            &simd1,
+            &suite,
+            &plan,
+            ExecConfig::default(),
+            &root,
+            None,
+            0xabc,
+            &chaos,
+            &policy,
+        );
+        assert!(stormy.lost.is_empty(), "one retry wins the window back");
+        assert_eq!(stormy.attrition.retries, 1);
+        assert_eq!(stormy.attrition.total_faults(), 1);
+        assert_eq!(stormy.report.runs.len(), quiet.report.runs.len());
+        for (idx, (q, s)) in quiet.report.runs.iter().zip(&stormy.report.runs).enumerate() {
+            assert_eq!(q.testcase, s.testcase, "window {idx}");
+            assert_eq!(q.error_count, s.error_count, "window {idx}");
+            assert_eq!(q.records, s.records, "window {idx}");
+        }
+    }
+
+    #[test]
     fn interruption_is_transparent_to_completed_windows() {
         // The same round under a quiet plan and under a storm must agree
         // on every window the storm eventually completed.

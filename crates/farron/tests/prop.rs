@@ -86,6 +86,41 @@ proptest! {
     }
 
     #[test]
+    fn decommission_never_exceeds_capacity_and_is_idempotent(
+        cores in prop::collection::vec(0u16..64, 0..12),
+        total in 1u16..64,
+    ) {
+        let core_ids: Vec<CoreId> = cores.iter().map(|&c| CoreId(c)).collect();
+        let decision = decide(&core_ids);
+        let cpu = CpuId(5);
+        let observe = |pool: &ReliablePool| {
+            (
+                pool.is_serving(cpu),
+                pool.available_cores(cpu, total),
+                pool.retained_capacity(cpu, total),
+            )
+        };
+        let mut pool = ReliablePool::new();
+        pool.apply(cpu, &decision);
+        let once = observe(&pool);
+        // Capacity bounds: the pool never invents cores.
+        prop_assert!(once.1.len() <= total as usize);
+        prop_assert!((0.0..=1.0).contains(&once.2), "capacity {}", once.2);
+        // Masked cores are really gone.
+        if let DecommissionDecision::MaskCores(masked) = &decision {
+            for m in masked {
+                prop_assert!(!pool.core_available(cpu, *m));
+            }
+        }
+        // Re-applying the same decision changes nothing a scheduler can
+        // observe (decommission reports are at-least-once delivered).
+        pool.apply(cpu, &decision);
+        prop_assert_eq!(observe(&pool), once);
+        pool.apply(cpu, &decision);
+        prop_assert_eq!(observe(&pool), once);
+    }
+
+    #[test]
     fn plans_always_cover_the_whole_suite(
         suspected in prop::collection::vec(0u32..633, 0..40),
         actives in prop::collection::vec(0u32..633, 0..80),

@@ -574,6 +574,37 @@ mod tests {
     }
 
     #[test]
+    fn unwritable_checkpoint_store_is_a_typed_error_not_a_panic() {
+        // Pointing the store at a directory that does not exist makes the
+        // first snapshot write fail; the campaign must surface that as
+        // CheckpointError::Io instead of panicking mid-fleet.
+        let cfg = FleetConfig {
+            total_cpus: 100_000,
+            seed: 2021,
+            threads: 2,
+        };
+        let suite = Suite::standard();
+        let pop = FleetPopulation::sample(&cfg);
+        let path = std::env::temp_dir()
+            .join(format!("sdc-no-such-dir-{}", std::process::id()))
+            .join("ckpt.json");
+        let store = crate::checkpoint::CheckpointStore::new(&path, 1);
+        let result = run_campaign_resumable(
+            &cfg,
+            &suite,
+            &pop,
+            &FaultPlan::default(),
+            &RetryPolicy::default(),
+            Some(&store),
+            None,
+        );
+        match result {
+            Err(crate::checkpoint::CheckpointError::Io(_)) => {}
+            other => panic!("expected CheckpointError::Io, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn suite_cache_builds_once_per_core_count() {
         let out = small_campaign();
         let s = out.suite_cache;

@@ -349,6 +349,28 @@ mod tests {
     }
 
     #[test]
+    fn version_check_precedes_fingerprint_check() {
+        // A snapshot that is wrong in both ways reports the format
+        // mismatch: fingerprint fields of a foreign format may not even
+        // mean the same thing, so comparing them first would mislead.
+        let dir = std::env::temp_dir().join("sdc-ck-test-prec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("ck.json"), 1);
+        let mut ck = CampaignCheckpoint::empty(fp());
+        ck.version = FORMAT_VERSION + 7;
+        ck.fingerprint.seed = 999;
+        store.write(&ck).unwrap();
+        assert!(matches!(
+            CampaignCheckpoint::load(store.path(), &fp()),
+            Err(CheckpointError::Version {
+                found,
+                expected: FORMAT_VERSION,
+            }) if found == FORMAT_VERSION + 7
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn load_rejects_missing_and_corrupt_files() {
         let dir = std::env::temp_dir().join("sdc-ck-test-bad");
         std::fs::create_dir_all(&dir).unwrap();

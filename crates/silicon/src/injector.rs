@@ -20,7 +20,18 @@ pub struct Injector {
     core_map: Vec<u16>,
     /// Current temperature per machine core, ℃.
     temps: Vec<f64>,
-    rng: DetRng,
+    /// One independent draw stream per defect, forked from the injector
+    /// seed by defect index. Whether defect `i` fires at a given retire
+    /// depends only on its own stream — never on which other defects
+    /// exist or fired earlier in the same run. This is what makes
+    /// defect-mask monotonicity hold (adding a defect to a processor
+    /// never removes the SDC records the existing defects would have
+    /// produced on the same seed; checked by `conformance::metamorphic`).
+    rngs: Vec<DetRng>,
+}
+
+fn fork_per_defect(rng: &DetRng, n: usize) -> Vec<DetRng> {
+    (0..n).map(|i| rng.fork(i as u64)).collect()
 }
 
 impl Injector {
@@ -28,21 +39,22 @@ impl Injector {
     /// physical core `core_map[i]`, starting at `idle_temp_c`.
     pub fn new(processor: &Processor, core_map: Vec<u16>, idle_temp_c: f64, rng: DetRng) -> Self {
         let n = core_map.len();
+        let rngs = fork_per_defect(&rng, processor.defects.len());
         Injector {
             defects: processor.defects.clone(),
             core_map,
             temps: vec![idle_temp_c; n],
-            rng,
+            rngs,
         }
     }
 
     /// An injector with no defects (golden behaviour) for `n` cores.
-    pub fn healthy(n: usize, rng: DetRng) -> Self {
+    pub fn healthy(n: usize, _rng: DetRng) -> Self {
         Injector {
             defects: Vec::new(),
             core_map: (0..n as u16).collect(),
             temps: vec![45.0; n],
-            rng,
+            rngs: Vec::new(),
         }
     }
 
@@ -78,19 +90,27 @@ impl FaultHook for Injector {
         }
         let pcore = self.physical(info.core);
         let temp = self.temps[info.core];
-        for i in 0..self.defects.len() {
-            if !self.defects[i].matches(info.class, info.dt) {
+        // Every matching defect draws from its own stream, even when an
+        // earlier one already fired: the draw sequence of defect `i` is a
+        // pure function of its stream and the retire sequence, so the set
+        // of defects present cannot perturb each other's firings.
+        // Coincident firings XOR-combine, as independent physical upsets
+        // on the same result bus would.
+        let mut mask = 0u128;
+        for (d, rng) in self.defects.iter().zip(self.rngs.iter_mut()) {
+            if !d.matches(info.class, info.dt) {
                 continue;
             }
-            let rate = self.defects[i].rate(pcore, temp);
-            if rate > 0.0 && self.rng.chance(rate) {
-                let mask = self.defects[i].choose_mask(info.dt, &mut self.rng);
-                if mask != 0 {
-                    return Some(info.bits ^ mask);
-                }
+            let rate = d.rate(pcore, temp);
+            if rate > 0.0 && rng.chance(rate) {
+                mask ^= d.choose_mask(info.dt, rng);
             }
         }
-        None
+        if mask != 0 {
+            Some(info.bits ^ mask)
+        } else {
+            None
+        }
     }
 
     fn drop_invalidation(&mut self, observer_core: usize, _line_addr: u64) -> bool {
@@ -99,15 +119,16 @@ impl FaultHook for Injector {
         }
         let pcore = self.physical(observer_core);
         let temp = self.temps[observer_core];
-        for d in &self.defects {
+        let mut dropped = false;
+        for (d, rng) in self.defects.iter().zip(self.rngs.iter_mut()) {
             if matches!(d.kind, DefectKind::CoherenceDrop) {
                 let rate = d.rate(pcore, temp);
-                if rate > 0.0 && self.rng.chance(rate) {
-                    return true;
+                if rate > 0.0 && rng.chance(rate) {
+                    dropped = true;
                 }
             }
         }
-        false
+        dropped
     }
 
     fn tx_commit_despite_conflict(&mut self, core: usize) -> bool {
@@ -116,15 +137,16 @@ impl FaultHook for Injector {
         }
         let pcore = self.physical(core);
         let temp = self.temps[core];
-        for d in &self.defects {
+        let mut forced = false;
+        for (d, rng) in self.defects.iter().zip(self.rngs.iter_mut()) {
             if matches!(d.kind, DefectKind::TxIsolation) {
                 let rate = d.rate(pcore, temp);
-                if rate > 0.0 && self.rng.chance(rate) {
-                    return true;
+                if rate > 0.0 && rng.chance(rate) {
+                    forced = true;
                 }
             }
         }
-        false
+        forced
     }
 }
 
@@ -341,6 +363,71 @@ mod tests {
             .is_none());
         assert!(!inj.drop_invalidation(0, 0));
         assert!(!inj.tx_commit_despite_conflict(0));
+    }
+
+    #[test]
+    fn adding_a_defect_never_unfires_existing_ones() {
+        // Defect-mask monotonicity at the injector level: because each
+        // defect draws from its own forked stream, the retires corrupted
+        // by defect 0 are the same whether or not defect 1 exists.
+        let d0 = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::IntArith],
+                datatypes: vec![],
+                patterns: vec![],
+                pattern_dt: DataType::Bin64,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(0),
+            Trigger::flat(0.05),
+        );
+        let d1 = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::FloatMul],
+                datatypes: vec![],
+                patterns: vec![],
+                pattern_dt: DataType::Bin64,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(0),
+            Trigger::flat(0.05),
+        );
+        let mut small = Processor::healthy(CpuId(1), ArchId(2), 1.0);
+        small.defects.push(d0.clone());
+        let mut big = small.clone();
+        big.defects.push(d1);
+
+        // Same retire sequence against both injectors, same seed.
+        let run = |p: &Processor| {
+            let mut inj = Injector::new(p, vec![0], 45.0, DetRng::new(42));
+            let mut fired = Vec::new();
+            for i in 0..2000u128 {
+                let class = if i % 2 == 0 {
+                    InstClass::IntArith
+                } else {
+                    InstClass::FloatMul
+                };
+                let dt = if i % 2 == 0 {
+                    DataType::I32
+                } else {
+                    DataType::F64
+                };
+                if inj.corrupt(&retire(0, class, dt, i)).is_some() {
+                    fired.push(i);
+                }
+            }
+            fired
+        };
+        let only_d0 = run(&small);
+        let both = run(&big);
+        assert!(!only_d0.is_empty(), "d0 must fire at 5% over 1000 retires");
+        for i in &only_d0 {
+            assert!(
+                both.contains(i),
+                "retire {i} corrupted with one defect but clean with two"
+            );
+        }
+        assert!(both.len() > only_d0.len(), "d1 must add firings");
     }
 
     #[test]

@@ -2,8 +2,19 @@
 # Tier-1 verification (see ROADMAP.md): release build, the root test
 # suite, and the parallel-determinism integration tests. Run from
 # anywhere; exits non-zero on the first failure.
+#
+#   --conform   additionally run the quick conformance gate
+#               (`repro conform --quick`, see EXPERIMENTS.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+conform=0
+for arg in "$@"; do
+  case "$arg" in
+    --conform) conform=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -24,5 +35,10 @@ rm -f "$ck"
 
 echo "== tier-1: clippy (chaos-touched crates) =="
 cargo clippy -q -p toolchain -p fleet -p farron -p analysis -p sdc-repro -- -D warnings
+
+if [[ "$conform" -eq 1 ]]; then
+  echo "== tier-1: conformance gate (quick) =="
+  ./target/release/repro conform --quick
+fi
 
 echo "tier-1: OK"

@@ -33,10 +33,13 @@ use sdc_model::{DataType, Duration};
 use std::path::PathBuf;
 use toolchain::Suite;
 
-/// Everything `repro` accepts after its own name.
+/// Everything `repro` accepts after its own name. `conform` is the
+/// conformance gate (golden statistics + metamorphic invariants +
+/// differential oracle); it is deliberately *not* part of `all` — it
+/// re-runs the same campaigns the other artifacts print.
 const ARTIFACTS: &[&str] = &[
     "all", "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig11", "obs", "ftol", "ext",
+    "fig8", "fig9", "fig11", "obs", "ftol", "ext", "conform",
 ];
 
 /// Campaign items between checkpoint snapshots.
@@ -49,6 +52,7 @@ struct Opts {
     chaos: Option<FaultPlan>,
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
+    write_golden: Option<PathBuf>,
     artifacts: Vec<String>,
 }
 
@@ -67,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         chaos: None,
         checkpoint: None,
         resume: None,
+        write_golden: None,
         artifacts: Vec::new(),
     };
     let mut it = args.iter();
@@ -99,6 +104,12 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                     .ok_or_else(|| "--resume needs a path".to_string())?;
                 opts.resume = Some(PathBuf::from(v));
             }
+            "--write-golden" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--write-golden needs a path".to_string())?;
+                opts.write_golden = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => return Ok(Parsed::Help),
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             other => {
@@ -130,7 +141,9 @@ fn usage() -> String {
          \x20                    and seed, e.g. 'offline=0.05,preempt=0.1,seed=7'\n\
          \x20 --checkpoint PATH  snapshot campaign progress to PATH every {CHECKPOINT_EVERY} items\n\
          \x20 --resume PATH      restore completed items from PATH before running\n\
-         \x20                    (also keeps snapshotting there unless --checkpoint is given)",
+         \x20                    (also keeps snapshotting there unless --checkpoint is given)\n\
+         \x20 --write-golden PATH  with `conform`: re-measure the current mode's metrics\n\
+         \x20                    and rewrite the golden file at PATH instead of gating",
         ARTIFACTS.join("|")
     )
 }
@@ -639,7 +652,7 @@ fn extensions(lazy: &mut Lazy) {
     let suite = lazy.suite.clone();
     hr("Extensions — §4.1 suspect localization");
     {
-        use analysis::suspects::{localizes, rank_suspects};
+        use analysis::suspects::{localizes, rank_suspects, LOCALIZE_MIN_SCORE};
         use fleet::screening::StaticSuiteProfile;
         let study = lazy.study();
         let mut cache: std::collections::HashMap<usize, StaticSuiteProfile> =
@@ -654,7 +667,7 @@ fn extensions(lazy: &mut Lazy) {
                 .or_insert_with(|| StaticSuiteProfile::build(&suite, cores));
             let suspects = rank_suspects(case, &suite, profiles);
             match suspects.first() {
-                Some(top) if localizes(&suspects, 5.0) => println!(
+                Some(top) if localizes(&suspects, LOCALIZE_MIN_SCORE) => println!(
                     "{name:<6}: suspect {:?}/{} (score {:.1})",
                     top.class,
                     top.datatype.label(),
@@ -760,6 +773,102 @@ fn extensions(lazy: &mut Lazy) {
     }
 }
 
+/// Streams the differential oracle sweeps in each mode. Quick mode is
+/// the CI gate floor from the issue (≥ 10k defect-free streams).
+fn conform_streams(quick: bool) -> u64 {
+    if quick {
+        10_000
+    } else {
+        50_000
+    }
+}
+
+/// The conformance gate: golden statistics, metamorphic invariants and
+/// the differential softcore oracle. Returns `false` when anything
+/// failed (the caller exits nonzero).
+fn conform(opts: &Opts) -> bool {
+    use conformance::{golden, metamorphic, oracle};
+
+    let mode = if opts.quick { "quick" } else { "full" };
+    hr(&format!("Conformance gate ({mode} mode)"));
+    let measured = conformance::collect_metrics(opts.quick, opts.threads, |stage| {
+        eprintln!("[repro] conform: {stage}…");
+    });
+
+    if let Some(path) = &opts.write_golden {
+        let existing = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| golden::parse_golden(&text).ok());
+        let mut file = existing.unwrap_or(golden::GoldenFile {
+            version: 1,
+            sets: Vec::new(),
+        });
+        let set = golden::regenerate(file.set(mode), mode, &measured);
+        file.sets.retain(|s| s.mode != mode);
+        file.sets.push(set);
+        file.sets.sort_by(|a, b| a.mode.cmp(&b.mode));
+        if let Err(e) = std::fs::write(path, golden::render_golden(&file)) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return false;
+        }
+        println!(
+            "wrote {} metrics to the {mode} set of {}",
+            measured.len(),
+            path.display()
+        );
+        return true;
+    }
+
+    let file = golden::golden_file();
+    let Some(set) = file.set(mode) else {
+        eprintln!(
+            "repro: no {mode} golden set recorded; run `repro conform {}--write-golden crates/conformance/GOLDEN.json` first",
+            if opts.quick { "--quick " } else { "" }
+        );
+        return false;
+    };
+    let report = golden::check(set, &measured);
+    println!("{}", report.render());
+    let mut ok = report.passed();
+
+    eprintln!("[repro] conform: metamorphic invariants…");
+    hr("Metamorphic invariants");
+    for inv in metamorphic::run_all(opts.threads) {
+        println!(
+            "{:<32} {:<4}  {}",
+            inv.name,
+            if inv.pass { "ok" } else { "FAIL" },
+            inv.detail
+        );
+        ok &= inv.pass;
+    }
+
+    let streams = conform_streams(opts.quick);
+    eprintln!("[repro] conform: differential oracle ({streams} streams)…");
+    hr("Differential softcore oracle");
+    let sweep = oracle::sweep(streams, opts.threads, &oracle::OracleConfig::default());
+    println!(
+        "{} defect-free streams, {} divergences",
+        sweep.streams,
+        sweep.divergences.len()
+    );
+    for &(seed, _) in sweep.divergences.iter().take(3) {
+        match oracle::minimize(seed, &oracle::OracleConfig::default(), &|| {
+            Box::new(softcore::NoFaults)
+        }) {
+            Some(shrunk) => println!("{}", shrunk.render()),
+            None => println!("seed {seed}: divergence did not reproduce under minimization"),
+        }
+    }
+    ok &= sweep.divergences.is_empty();
+
+    println!(
+        "\nconformance gate: {}",
+        if ok { "PASSED" } else { "FAILED" }
+    );
+    ok
+}
+
 fn ftol_audit() {
     hr("Observation 12 — fault-tolerance techniques vs CPU SDCs");
     println!(
@@ -834,6 +943,11 @@ fn main() {
     }
     if want("ext") {
         extensions(&mut lazy);
+    }
+    // Not part of `all`: the gate re-runs the same campaigns the other
+    // artifacts print, and its verdict must map to the exit code.
+    if opts.artifacts.iter().any(|a| a == "conform") && !conform(&opts) {
+        std::process::exit(1);
     }
     println!(
         "\n(figures 1 and 10 are workflow diagrams: see fleet::Stage and farron::StateMachine)"
@@ -911,6 +1025,22 @@ mod tests {
         assert!(parse_args(&args(&["--chaos", "gremlins=0.5"])).is_err());
         assert!(parse_args(&args(&["--checkpoint"])).is_err());
         assert!(parse_args(&args(&["--resume"])).is_err());
+    }
+
+    #[test]
+    fn parses_conform_and_write_golden() {
+        let opts = run(&["conform", "--quick", "--write-golden", "GOLDEN.json"]);
+        assert_eq!(opts.artifacts, vec!["conform".to_string()]);
+        assert_eq!(opts.write_golden, Some(PathBuf::from("GOLDEN.json")));
+        assert!(parse_args(&args(&["--write-golden"])).is_err());
+    }
+
+    #[test]
+    fn conform_is_not_part_of_all() {
+        let opts = run(&[]);
+        assert_eq!(opts.artifacts, vec!["all".to_string()]);
+        // `main` gates `conform` on an explicit mention, never on "all".
+        assert!(!opts.artifacts.iter().any(|a| a == "conform"));
     }
 
     #[test]
