@@ -52,6 +52,7 @@ impl DataType {
     ];
 
     /// Width of the representation in bits.
+    #[inline]
     pub fn bits(self) -> u32 {
         match self {
             DataType::Bit => 1,
@@ -65,6 +66,7 @@ impl DataType {
 
     /// Mask with the low `bits()` bits set; representations are stored in
     /// the low bits of a `u128`.
+    #[inline]
     pub fn mask(self) -> u128 {
         if self.bits() == 128 {
             u128::MAX

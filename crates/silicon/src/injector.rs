@@ -9,8 +9,84 @@
 
 use crate::defect::{Defect, DefectKind};
 use crate::processor::Processor;
-use sdc_model::DetRng;
-use softcore::{FaultHook, RetireInfo};
+use sdc_model::{DataType, DetRng};
+use softcore::{FaultHook, InstClass, RetireInfo, NUM_SITES};
+
+/// Precomputed dispatch tables: which defects can possibly act on which
+/// `(InstClass, DataType)` retire site and which machine core. Built once
+/// per injector from temperature-independent defect structure, so the
+/// per-retire hot path only walks defects that can actually fire (the
+/// temperature gate stays a dynamic `rate > 0` check inside the loop).
+#[derive(Debug, Clone)]
+struct SparseIndex {
+    /// Site ([`InstClass::site_index`]) → ascending indices of computation
+    /// defects matching that `(class, datatype)` pair. Ascending order
+    /// preserves the reference draw order over `defects`.
+    comp_sites: Vec<Vec<u32>>,
+    /// Indices of coherence-drop defects, ascending.
+    coherence: Vec<u32>,
+    /// Indices of transaction-isolation defects, ascending.
+    tx: Vec<u32>,
+    /// Per machine core: any computation defect with nonzero scale on its
+    /// physical core.
+    core_comp: Vec<bool>,
+    /// Same, for coherence-drop defects.
+    core_coherence: Vec<bool>,
+    /// Same, for transaction-isolation defects.
+    core_tx: Vec<bool>,
+}
+
+impl SparseIndex {
+    fn build(defects: &[Defect], core_map: &[u16]) -> Self {
+        let mut comp_sites = vec![Vec::new(); NUM_SITES];
+        let mut coherence = Vec::new();
+        let mut tx = Vec::new();
+        for (i, d) in defects.iter().enumerate() {
+            match d.kind {
+                DefectKind::Computation { .. } => {
+                    for class in InstClass::ALL {
+                        for dt in DataType::ALL {
+                            if d.matches(class, dt) {
+                                comp_sites[class.site_index(dt)].push(i as u32);
+                            }
+                        }
+                    }
+                }
+                DefectKind::CoherenceDrop => coherence.push(i as u32),
+                DefectKind::TxIsolation => tx.push(i as u32),
+            }
+        }
+        let live_on = |of_kind: &dyn Fn(&Defect) -> bool| -> Vec<bool> {
+            core_map
+                .iter()
+                .map(|&pcore| {
+                    defects
+                        .iter()
+                        .any(|d| of_kind(d) && d.scope.core_scale(pcore) > 0.0)
+                })
+                .collect()
+        };
+        SparseIndex {
+            comp_sites,
+            coherence,
+            tx,
+            core_comp: live_on(&|d| matches!(d.kind, DefectKind::Computation { .. })),
+            core_coherence: live_on(&|d| matches!(d.kind, DefectKind::CoherenceDrop)),
+            core_tx: live_on(&|d| matches!(d.kind, DefectKind::TxIsolation)),
+        }
+    }
+
+    fn empty(cores: usize) -> Self {
+        SparseIndex {
+            comp_sites: vec![Vec::new(); NUM_SITES],
+            coherence: Vec::new(),
+            tx: Vec::new(),
+            core_comp: vec![false; cores],
+            core_coherence: vec![false; cores],
+            core_tx: vec![false; cores],
+        }
+    }
+}
 
 /// Fault hook for one processor under test.
 #[derive(Debug, Clone)]
@@ -28,6 +104,7 @@ pub struct Injector {
     /// never removes the SDC records the existing defects would have
     /// produced on the same seed; checked by `conformance::metamorphic`).
     rngs: Vec<DetRng>,
+    index: SparseIndex,
 }
 
 fn fork_per_defect(rng: &DetRng, n: usize) -> Vec<DetRng> {
@@ -40,11 +117,13 @@ impl Injector {
     pub fn new(processor: &Processor, core_map: Vec<u16>, idle_temp_c: f64, rng: DetRng) -> Self {
         let n = core_map.len();
         let rngs = fork_per_defect(&rng, processor.defects.len());
+        let index = SparseIndex::build(&processor.defects, &core_map);
         Injector {
             defects: processor.defects.clone(),
             core_map,
             temps: vec![idle_temp_c; n],
             rngs,
+            index,
         }
     }
 
@@ -55,7 +134,18 @@ impl Injector {
             core_map: (0..n as u16).collect(),
             temps: vec![45.0; n],
             rngs: Vec::new(),
+            index: SparseIndex::empty(n),
         }
+    }
+
+    /// The per-core fire-mask: whether any defect on this processor could
+    /// corrupt a `(class, dt)` retire on machine core `core` at *some*
+    /// temperature. False means the retire needs no bookkeeping at all —
+    /// defect-free cores skip everything, defective cores only check the
+    /// classes their defect can hit.
+    pub fn can_fire(&self, core: usize, class: InstClass, dt: DataType) -> bool {
+        self.index.core_comp.get(core).copied().unwrap_or(false)
+            && !self.index.comp_sites[class.site_index(dt)].is_empty()
     }
 
     /// Updates the temperature of machine core `core`.
@@ -88,6 +178,18 @@ impl FaultHook for Injector {
         if self.defects.is_empty() {
             return None;
         }
+        // Sparse dispatch: the per-site table lists exactly the defects a
+        // `matches` scan over all of them would visit, in the same order,
+        // so skipping the rest consumes no draws and cannot shift any
+        // defect's stream. The temperature gate is dynamic and stays in
+        // the loop (a gated defect draws nothing either way).
+        if !self.index.core_comp[info.core] {
+            return None;
+        }
+        let site = &self.index.comp_sites[info.class.site_index(info.dt)];
+        if site.is_empty() {
+            return None;
+        }
         let pcore = self.physical(info.core);
         let temp = self.temps[info.core];
         // Every matching defect draws from its own stream, even when an
@@ -97,10 +199,9 @@ impl FaultHook for Injector {
         // Coincident firings XOR-combine, as independent physical upsets
         // on the same result bus would.
         let mut mask = 0u128;
-        for (d, rng) in self.defects.iter().zip(self.rngs.iter_mut()) {
-            if !d.matches(info.class, info.dt) {
-                continue;
-            }
+        for &i in site {
+            let d = &self.defects[i as usize];
+            let rng = &mut self.rngs[i as usize];
             let rate = d.rate(pcore, temp);
             if rate > 0.0 && rng.chance(rate) {
                 mask ^= d.choose_mask(info.dt, rng);
@@ -117,15 +218,18 @@ impl FaultHook for Injector {
         if self.defects.is_empty() {
             return false;
         }
+        if !self.index.core_coherence[observer_core] {
+            return false;
+        }
         let pcore = self.physical(observer_core);
         let temp = self.temps[observer_core];
         let mut dropped = false;
-        for (d, rng) in self.defects.iter().zip(self.rngs.iter_mut()) {
-            if matches!(d.kind, DefectKind::CoherenceDrop) {
-                let rate = d.rate(pcore, temp);
-                if rate > 0.0 && rng.chance(rate) {
-                    dropped = true;
-                }
+        for &i in &self.index.coherence {
+            let d = &self.defects[i as usize];
+            let rng = &mut self.rngs[i as usize];
+            let rate = d.rate(pcore, temp);
+            if rate > 0.0 && rng.chance(rate) {
+                dropped = true;
             }
         }
         dropped
@@ -135,15 +239,18 @@ impl FaultHook for Injector {
         if self.defects.is_empty() {
             return false;
         }
+        if !self.index.core_tx[core] {
+            return false;
+        }
         let pcore = self.physical(core);
         let temp = self.temps[core];
         let mut forced = false;
-        for (d, rng) in self.defects.iter().zip(self.rngs.iter_mut()) {
-            if matches!(d.kind, DefectKind::TxIsolation) {
-                let rate = d.rate(pcore, temp);
-                if rate > 0.0 && rng.chance(rate) {
-                    forced = true;
-                }
+        for &i in &self.index.tx {
+            let d = &self.defects[i as usize];
+            let rng = &mut self.rngs[i as usize];
+            let rate = d.rate(pcore, temp);
+            if rate > 0.0 && rng.chance(rate) {
+                forced = true;
             }
         }
         forced
@@ -353,6 +460,38 @@ mod tests {
             (0.8..1.25).contains(&ratio),
             "similar frequency on both siblings: {fired:?}"
         );
+    }
+
+    #[test]
+    fn fire_mask_reflects_defect_structure() {
+        let d = Defect::new(
+            DefectKind::Computation {
+                classes: vec![InstClass::VecFma],
+                datatypes: vec![DataType::F32],
+                patterns: vec![],
+                pattern_dt: DataType::F32,
+                random_mask_prob: 1.0,
+            },
+            DefectScope::SingleCore(5),
+            Trigger::flat(0.5),
+        );
+        let p = test_processor(d);
+        // Machine core 0 healthy (physical 0), machine core 1 defective
+        // (physical 5).
+        let inj = Injector::new(&p, vec![0, 5], 45.0, DetRng::new(11));
+        assert!(inj.can_fire(1, InstClass::VecFma, DataType::F32));
+        assert!(
+            !inj.can_fire(0, InstClass::VecFma, DataType::F32),
+            "defect-free core skips retire bookkeeping"
+        );
+        assert!(
+            !inj.can_fire(1, InstClass::IntArith, DataType::I32),
+            "defective core only checks classes its defect can hit"
+        );
+        assert!(!inj.can_fire(7, InstClass::VecFma, DataType::F32));
+
+        let healthy = Injector::healthy(2, DetRng::new(12));
+        assert!(!healthy.can_fire(0, InstClass::VecFma, DataType::F32));
     }
 
     #[test]

@@ -1,5 +1,11 @@
 //! Single-core instruction execution.
+//!
+//! The interpreter is generic over the fault hook so the golden/profiling
+//! path (`NoFaults`) monomorphizes to straight-line code with no virtual
+//! call per retire; callers holding a `&mut dyn FaultHook` still compile
+//! against the same functions with `H = dyn FaultHook`.
 
+use crate::decode::{AluOp, DecodedProgram, FusedKind, FusedOp};
 use crate::hooks::{FaultHook, RetireInfo};
 use crate::inst::{FOpKind, Inst, InstClass, IntOpKind, LaneType, Precision, VOpKind, XOpKind};
 use crate::machine::CorruptionEvent;
@@ -22,6 +28,13 @@ pub struct StepCost {
     pub energy: f64,
 }
 
+impl StepCost {
+    pub(crate) const ZERO: StepCost = StepCost {
+        cycles: 0,
+        energy: 0.0,
+    };
+}
+
 /// One simulated physical core.
 #[derive(Debug, Clone)]
 pub struct Core {
@@ -29,9 +42,9 @@ pub struct Core {
     pub id: usize,
     /// Architectural registers.
     pub regs: RegFile,
-    pc: usize,
+    pub(crate) pc: usize,
     loop_stack: Vec<(usize, u32)>,
-    halted: bool,
+    pub(crate) halted: bool,
     tx: TxState,
 }
 
@@ -49,6 +62,7 @@ impl Core {
     }
 
     /// Whether the core has executed `Halt` (or run off the program end).
+    #[inline]
     pub fn halted(&self) -> bool {
         self.halted
     }
@@ -69,12 +83,13 @@ impl Core {
 
     /// Runs a scalar result through the fault hook, logging a corruption
     /// event if the hook fires.
-    fn retire(
+    #[inline]
+    fn retire<H: FaultHook + ?Sized>(
         &self,
         class: InstClass,
         dt: DataType,
         bits: u128,
-        hook: &mut dyn FaultHook,
+        hook: &mut H,
         events: &mut Vec<CorruptionEvent>,
     ) -> u128 {
         let bits = bits & dt.mask();
@@ -102,29 +117,154 @@ impl Core {
 
     /// Executes one instruction. Returns its cost; a halted core returns a
     /// zero-cost step.
-    pub fn step(
+    pub fn step<H: FaultHook + ?Sized>(
         &mut self,
         prog: &Program,
         mem: &mut MemSystem,
-        hook: &mut dyn FaultHook,
+        hook: &mut H,
         usage: &mut UsageCounters,
         events: &mut Vec<CorruptionEvent>,
     ) -> StepCost {
         if self.halted {
-            return StepCost {
-                cycles: 0,
-                energy: 0.0,
-            };
+            return StepCost::ZERO;
         }
         let Some(&inst) = prog.insts().get(self.pc) else {
             self.halted = true;
-            return StepCost {
-                cycles: 0,
-                energy: 0.0,
-            };
+            return StepCost::ZERO;
         };
         let class = inst.class();
         usage.record(self.id, class);
+        let skip_to = match inst {
+            Inst::LoopStart { count: 0 } => prog.loop_end_of(self.pc) + 1,
+            _ => 0,
+        };
+        self.exec_inst(inst, class, skip_to, mem, hook, events);
+        StepCost {
+            cycles: class.cycles(),
+            energy: class.energy(),
+        }
+    }
+
+    /// `step` against a predecoded program: class, costs and zero-count
+    /// loop skip targets come from the decode pass instead of per-step
+    /// recomputation. Bit-identical to `step` on the same state.
+    pub(crate) fn step_decoded<H: FaultHook + ?Sized>(
+        &mut self,
+        prog: &DecodedProgram,
+        mem: &mut MemSystem,
+        hook: &mut H,
+        usage: &mut UsageCounters,
+        events: &mut Vec<CorruptionEvent>,
+    ) -> StepCost {
+        if self.halted {
+            return StepCost::ZERO;
+        }
+        let Some(op) = prog.op(self.pc) else {
+            self.halted = true;
+            return StepCost::ZERO;
+        };
+        usage.record(self.id, op.class);
+        self.exec_inst(op.inst, op.class, op.skip_to as usize, mem, hook, events);
+        StepCost {
+            cycles: op.cycles,
+            energy: op.energy,
+        }
+    }
+
+    /// Executes a fused instruction pair straight-line, preserving the
+    /// exact per-instruction order of usage recording, retires and cost
+    /// accounting. Only legal for pairs the decoder marked (no memory, no
+    /// control transfer out of the pair other than the trailing
+    /// `LoopEnd`). Returns the two per-instruction costs separately so the
+    /// caller can accumulate energy in the same f64 order as unfused
+    /// execution.
+    pub(crate) fn exec_fused<H: FaultHook + ?Sized>(
+        &mut self,
+        fused: &FusedOp,
+        hook: &mut H,
+        usage: &mut UsageCounters,
+        events: &mut Vec<CorruptionEvent>,
+    ) -> (StepCost, StepCost) {
+        match fused.kind {
+            FusedKind::MovImmIntOp {
+                imm_dst,
+                imm,
+                ref alu,
+            } => {
+                usage.record(self.id, InstClass::Control);
+                self.regs.set_int(imm_dst, imm);
+                usage.record(self.id, alu.class);
+                self.exec_alu(alu, hook, events);
+                self.pc += 2;
+            }
+            FusedKind::IntOpIntOp {
+                ref first,
+                ref second,
+            } => {
+                usage.record(self.id, first.class);
+                self.exec_alu(first, hook, events);
+                usage.record(self.id, second.class);
+                self.exec_alu(second, hook, events);
+                self.pc += 2;
+            }
+            FusedKind::IntOpLoopEnd { ref alu } => {
+                usage.record(self.id, alu.class);
+                self.exec_alu(alu, hook, events);
+                usage.record(self.id, InstClass::Control);
+                let top = self
+                    .loop_stack
+                    .last_mut()
+                    .expect("LoopEnd without LoopStart (validated programs cannot reach this)");
+                top.1 -= 1;
+                if top.1 > 0 {
+                    self.pc = top.0 + 1;
+                } else {
+                    self.loop_stack.pop();
+                    self.pc += 2;
+                }
+            }
+        }
+        (fused.cost1, fused.cost2)
+    }
+
+    /// The predecoded `IntOp` body (mask/width precomputed by the
+    /// decoder). Mirrors the `Inst::IntOp` arm of `exec_inst` exactly.
+    #[inline]
+    fn exec_alu<H: FaultHook + ?Sized>(
+        &mut self,
+        alu: &AluOp,
+        hook: &mut H,
+        events: &mut Vec<CorruptionEvent>,
+    ) {
+        let x = self.regs.int(alu.a) & alu.mask;
+        let y = self.regs.int(alu.b) & alu.mask;
+        let raw = match alu.op {
+            IntOpKind::Add => x.wrapping_add(y),
+            IntOpKind::Sub => x.wrapping_sub(y),
+            IntOpKind::Mul => x.wrapping_mul(y),
+            IntOpKind::Div => x.checked_div(y).unwrap_or(0),
+            IntOpKind::And => x & y,
+            IntOpKind::Or => x | y,
+            IntOpKind::Xor => x ^ y,
+            IntOpKind::Shl => x << (y % alu.width),
+            IntOpKind::Shr => x >> (y % alu.width),
+        };
+        let out = self.retire(alu.class, alu.dt, raw as u128, hook, events);
+        self.regs.set_int(alu.dst, out as u64);
+    }
+
+    /// The interpreter body shared by `step` and `step_decoded`. `skip_to`
+    /// is the precomputed `LoopEnd`+1 target consumed by zero-count
+    /// `LoopStart` (unused for every other instruction).
+    fn exec_inst<H: FaultHook + ?Sized>(
+        &mut self,
+        inst: Inst,
+        class: InstClass,
+        skip_to: usize,
+        mem: &mut MemSystem,
+        hook: &mut H,
+        events: &mut Vec<CorruptionEvent>,
+    ) {
         let mut next_pc = self.pc + 1;
         match inst {
             Inst::MovImm { dst, imm } => self.regs.set_int(dst, imm),
@@ -365,7 +505,7 @@ impl Core {
             }
             Inst::LoopStart { count } => {
                 if count == 0 {
-                    next_pc = prog.loop_end_of(self.pc) + 1;
+                    next_pc = skip_to;
                 } else {
                     self.loop_stack.push((self.pc, count));
                 }
@@ -393,15 +533,11 @@ impl Core {
             }
         }
         self.pc = next_pc;
-        StepCost {
-            cycles: class.cycles(),
-            energy: class.energy(),
-        }
     }
 
     /// Vector execution with per-lane fault-hook retirement.
     #[allow(clippy::too_many_arguments)]
-    fn exec_vector(
+    fn exec_vector<H: FaultHook + ?Sized>(
         &mut self,
         op: VOpKind,
         lane: LaneType,
@@ -409,7 +545,7 @@ impl Core {
         b: u8,
         c: u8,
         class: InstClass,
-        hook: &mut dyn FaultHook,
+        hook: &mut H,
         events: &mut Vec<CorruptionEvent>,
     ) -> [u64; 4] {
         let va = self.regs.vec(a);
@@ -771,5 +907,35 @@ mod tests {
         }
         assert_eq!(usage.count(0, InstClass::FloatAdd), 2);
         assert!(usage.count(0, InstClass::Control) >= 2);
+    }
+
+    #[test]
+    fn step_decoded_matches_step() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 3);
+        b.mov_imm(1, 5);
+        b.loop_start(100);
+        b.int_op(IntOpKind::Add, DataType::I32, 2, 0, 1);
+        b.int_op(IntOpKind::Xor, DataType::I32, 0, 0, 2);
+        b.loop_end();
+        let prog = b.build();
+        let decoded = DecodedProgram::decode(&prog);
+
+        let (ref_core, _) = run_one(&prog);
+
+        let mut core = Core::new(0);
+        let mut mem = MemSystem::new(1, 1 << 16);
+        let mut hook = NoFaults;
+        let mut usage = UsageCounters::new(1);
+        let mut events = Vec::new();
+        let mut total = StepCost::ZERO;
+        while !core.halted() {
+            let c = core.step_decoded(&decoded, &mut mem, &mut hook, &mut usage, &mut events);
+            total.cycles += c.cycles;
+            total.energy += c.energy;
+        }
+        assert_eq!(core.regs.int(0), ref_core.regs.int(0));
+        assert_eq!(core.regs.int(2), ref_core.regs.int(2));
+        assert!(total.cycles > 0);
     }
 }

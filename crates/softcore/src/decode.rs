@@ -1,0 +1,259 @@
+//! Predecoded programs: the interpreter fast path's flattened form.
+//!
+//! `DecodedProgram::decode` runs once per loaded program and precomputes
+//! everything `Core::step` otherwise rederives on every retire:
+//!
+//! * per-instruction class, cycle and energy costs;
+//! * the `loop_end + 1` skip target of every `LoopStart`, flattening the
+//!   `HashMap` lookup out of zero-count loop entry;
+//! * per-`IntOp` datatype masks and shift widths;
+//! * superinstruction marks fusing common adjacent pairs
+//!   (`MovImm`+`IntOp`, `IntOp`+`IntOp`, and the compare-and-branch
+//!   analogue `IntOp`+`LoopEnd`) for the single-live-core execution
+//!   phase.
+//!
+//! The decoded form keeps a strict 1:1 pc mapping with the source
+//! program — fusion is a per-pc mark consulted at dispatch, not a
+//! rewrite — so control transfers (loop back-edges, zero-count skips,
+//! lock spins) land on exactly the same pcs as undecoded execution.
+
+use crate::cpu::StepCost;
+use crate::inst::{Inst, InstClass, IntOpKind};
+use crate::program::Program;
+use sdc_model::DataType;
+
+/// One predecoded instruction: the original `Inst` plus everything the
+/// dispatch loop needs without recomputation.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodedOp {
+    pub(crate) inst: Inst,
+    pub(crate) class: InstClass,
+    pub(crate) cycles: u64,
+    pub(crate) energy: f64,
+    /// For `LoopStart`: the pc after the matching `LoopEnd` (taken when
+    /// the trip count is zero). Unused for every other instruction.
+    pub(crate) skip_to: u32,
+}
+
+/// A predecoded `IntOp` with its datatype mask and shift width resolved.
+#[derive(Debug, Clone)]
+pub(crate) struct AluOp {
+    pub(crate) op: IntOpKind,
+    pub(crate) dt: DataType,
+    pub(crate) mask: u64,
+    pub(crate) width: u64,
+    pub(crate) dst: u8,
+    pub(crate) a: u8,
+    pub(crate) b: u8,
+    pub(crate) class: InstClass,
+}
+
+/// The fusable pair shapes. All operands stay in registers and neither
+/// micro-op can transfer control out of the pair except the trailing
+/// `LoopEnd`, which is exactly the macro-fused decrement-compare-branch.
+#[derive(Debug, Clone)]
+pub(crate) enum FusedKind {
+    MovImmIntOp { imm_dst: u8, imm: u64, alu: AluOp },
+    IntOpIntOp { first: AluOp, second: AluOp },
+    IntOpLoopEnd { alu: AluOp },
+}
+
+/// A fused pair with both micro-op costs kept separate so the executor
+/// accumulates energy in the same f64 addition order as unfused runs.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedOp {
+    pub(crate) kind: FusedKind,
+    pub(crate) cost1: StepCost,
+    pub(crate) cost2: StepCost,
+}
+
+/// The decoded image of one `Program`.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    ops: Vec<DecodedOp>,
+    /// Per-pc index into `fused`, `u32::MAX` when the pair starting at
+    /// that pc is not fusable. A jump landing mid-pair simply uses the
+    /// landing pc's own entry.
+    fuse_idx: Vec<u32>,
+    fused: Vec<FusedOp>,
+}
+
+const NO_FUSE: u32 = u32::MAX;
+
+fn alu_of(inst: &Inst) -> Option<AluOp> {
+    if let Inst::IntOp { op, dt, dst, a, b } = *inst {
+        Some(AluOp {
+            op,
+            dt,
+            mask: dt.mask() as u64,
+            width: dt.bits() as u64,
+            dst,
+            a,
+            b,
+            class: op.class(),
+        })
+    } else {
+        None
+    }
+}
+
+impl DecodedProgram {
+    /// Decodes a program. Pure: depends only on the instruction stream.
+    pub fn decode(program: &Program) -> Self {
+        let insts = program.insts();
+        let ops = insts
+            .iter()
+            .enumerate()
+            .map(|(pc, &inst)| {
+                let class = inst.class();
+                let skip_to = match inst {
+                    Inst::LoopStart { .. } => (program.loop_end_of(pc) + 1) as u32,
+                    _ => 0,
+                };
+                DecodedOp {
+                    inst,
+                    class,
+                    cycles: class.cycles(),
+                    energy: class.energy(),
+                    skip_to,
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let mut fuse_idx = vec![NO_FUSE; insts.len()];
+        let mut fused = Vec::new();
+        for pc in 0..insts.len().saturating_sub(1) {
+            let kind = match (&insts[pc], &insts[pc + 1]) {
+                (&Inst::MovImm { dst, imm }, second @ &Inst::IntOp { .. }) => {
+                    Some(FusedKind::MovImmIntOp {
+                        imm_dst: dst,
+                        imm,
+                        alu: alu_of(second).expect("IntOp"),
+                    })
+                }
+                (first @ &Inst::IntOp { .. }, second @ &Inst::IntOp { .. }) => {
+                    Some(FusedKind::IntOpIntOp {
+                        first: alu_of(first).expect("IntOp"),
+                        second: alu_of(second).expect("IntOp"),
+                    })
+                }
+                (first @ &Inst::IntOp { .. }, &Inst::LoopEnd) => Some(FusedKind::IntOpLoopEnd {
+                    alu: alu_of(first).expect("IntOp"),
+                }),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                let (c1, c2) = (ops[pc].class, ops[pc + 1].class);
+                fuse_idx[pc] = fused.len() as u32;
+                fused.push(FusedOp {
+                    kind,
+                    cost1: StepCost {
+                        cycles: c1.cycles(),
+                        energy: c1.energy(),
+                    },
+                    cost2: StepCost {
+                        cycles: c2.cycles(),
+                        energy: c2.energy(),
+                    },
+                });
+            }
+        }
+        DecodedProgram {
+            ops,
+            fuse_idx,
+            fused,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn op(&self, pc: usize) -> Option<&DecodedOp> {
+        self.ops.get(pc)
+    }
+
+    /// The fused pair starting at `pc`, if the decoder marked one.
+    #[inline]
+    pub(crate) fn fused_at(&self, pc: usize) -> Option<&FusedOp> {
+        match self.fuse_idx.get(pc) {
+            Some(&i) if i != NO_FUSE => Some(&self.fused[i as usize]),
+            _ => None,
+        }
+    }
+
+    /// Number of predecoded instructions (same as the program length).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of fusable pair marks found (diagnostics and benches).
+    pub fn fused_pairs(&self) -> usize {
+        self.fused.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn decode_preserves_pc_mapping_and_costs() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 3).mov_imm(1, 5).loop_start(10);
+        b.int_op(IntOpKind::Add, DataType::I32, 2, 0, 1);
+        b.int_op(IntOpKind::Xor, DataType::I32, 0, 0, 2);
+        b.loop_end();
+        let prog = b.build();
+        let d = DecodedProgram::decode(&prog);
+        assert_eq!(d.len(), prog.len());
+        for (pc, inst) in prog.insts().iter().enumerate() {
+            let op = d.op(pc).expect("1:1 mapping");
+            assert_eq!(op.class, inst.class());
+            assert_eq!(op.cycles, inst.class().cycles());
+        }
+    }
+
+    #[test]
+    fn loop_start_skip_targets_match_program() {
+        let mut b = ProgramBuilder::new();
+        b.loop_start(0);
+        b.mov_imm(0, 1);
+        b.loop_end();
+        b.mov_imm(0, 2);
+        let prog = b.build();
+        let d = DecodedProgram::decode(&prog);
+        assert_eq!(d.op(0).expect("pc 0").skip_to as usize, prog.loop_end_of(0) + 1);
+    }
+
+    #[test]
+    fn fusion_marks_expected_pairs() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 3); // pc 0: MovImm followed by IntOp -> fused
+        b.int_op(IntOpKind::Add, DataType::I32, 1, 0, 0); // pc 1: IntOp+IntOp -> fused
+        b.int_op(IntOpKind::Xor, DataType::I32, 2, 1, 0); // pc 2: IntOp before fmov -> not fused
+        b.fmov_imm(0, 1.0); // pc 3
+        let prog = b.build();
+        let d = DecodedProgram::decode(&prog);
+        assert!(d.fused_at(0).is_some(), "MovImm+IntOp fuses");
+        assert!(d.fused_at(1).is_some(), "IntOp+IntOp fuses");
+        assert!(d.fused_at(2).is_none(), "IntOp+FMovImm does not fuse");
+        assert_eq!(d.fused_pairs(), 2);
+    }
+
+    #[test]
+    fn int_loop_body_fuses_with_loop_end() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 1).loop_start(4);
+        b.int_op(IntOpKind::Add, DataType::Bin64, 0, 0, 0);
+        b.loop_end();
+        let prog = b.build();
+        let d = DecodedProgram::decode(&prog);
+        let f = d.fused_at(2).expect("IntOp+LoopEnd fuses");
+        assert!(matches!(f.kind, FusedKind::IntOpLoopEnd { .. }));
+        assert_eq!(f.cost2.cycles, InstClass::Control.cycles());
+    }
+}

@@ -487,7 +487,20 @@ pub enum InstClass {
     Pause,
 }
 
+/// Number of distinct `(InstClass, DataType)` retire sites — the size of
+/// flat per-site tables indexed by [`InstClass::site_index`].
+pub const NUM_SITES: usize = InstClass::ALL.len() * DataType::ALL.len();
+
 impl InstClass {
+    /// Dense class-major index of the `(self, dt)` retire site into a
+    /// [`NUM_SITES`]-entry table. Ascending index order equals ascending
+    /// `(InstClass, DataType)` `Ord` order, so iterating a flat table is
+    /// already sorted by site.
+    #[inline]
+    pub fn site_index(self, dt: DataType) -> usize {
+        self as usize * DataType::ALL.len() + dt as usize
+    }
+
     /// All classes (for exhaustive usage tables).
     pub const ALL: [InstClass; 24] = [
         InstClass::IntArith,
@@ -545,6 +558,7 @@ impl InstClass {
     }
 
     /// Nominal execution latency in cycles (drives virtual time).
+    #[inline]
     pub fn cycles(self) -> u64 {
         match self {
             InstClass::Control => 1,
@@ -574,6 +588,7 @@ impl InstClass {
     /// functional units (vector FMA, arctangent microcode) burn the most
     /// per cycle, matching the observation that stressful testcases heat
     /// the core (Observation 10).
+    #[inline]
     pub fn energy(self) -> f64 {
         match self {
             InstClass::Control => 0.2,

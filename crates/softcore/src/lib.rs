@@ -24,6 +24,7 @@
 //! defective arithmetic unit corrupts architectural state.
 
 pub mod cpu;
+pub mod decode;
 pub mod hooks;
 pub mod inst;
 pub mod machine;
@@ -33,8 +34,11 @@ pub mod regs;
 pub mod tx;
 pub mod usage;
 
+pub use decode::DecodedProgram;
 pub use hooks::{FaultHook, NoFaults, RetireInfo};
-pub use inst::{FOpKind, Inst, InstClass, IntOpKind, LaneType, Precision, VOpKind, XOpKind};
+pub use inst::{
+    FOpKind, Inst, InstClass, IntOpKind, LaneType, Precision, VOpKind, XOpKind, NUM_SITES,
+};
 pub use machine::{CorruptionEvent, Machine, RunOutcome};
 pub use mem::MemSystem;
 pub use program::{Program, ProgramBuilder};

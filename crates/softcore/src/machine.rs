@@ -2,6 +2,7 @@
 //! random interleaver.
 
 use crate::cpu::Core;
+use crate::decode::DecodedProgram;
 use crate::hooks::FaultHook;
 use crate::inst::InstClass;
 use crate::mem::MemSystem;
@@ -46,6 +47,7 @@ pub struct Machine {
     pub mem: MemSystem,
     cores: Vec<Core>,
     programs: Vec<Option<Program>>,
+    decoded: Vec<Option<DecodedProgram>>,
     /// Instruction-usage counters (the Pin-instrumentation equivalent).
     pub usage: UsageCounters,
     /// Ground-truth corruption log.
@@ -68,6 +70,7 @@ impl Machine {
             mem: MemSystem::new(cores, mem_bytes),
             cores: (0..cores).map(Core::new).collect(),
             programs: vec![None; cores],
+            decoded: vec![None; cores],
             usage: UsageCounters::new(cores),
             events: Vec::new(),
             cycles: vec![0; cores],
@@ -80,8 +83,10 @@ impl Machine {
         self.cores.len()
     }
 
-    /// Loads `program` onto `core`. Cores without a program stay halted.
+    /// Loads `program` onto `core` and predecodes it. Cores without a
+    /// program stay halted.
     pub fn load(&mut self, core: usize, program: Program) {
+        self.decoded[core] = Some(DecodedProgram::decode(&program));
         self.programs[core] = Some(program);
         self.cores[core].restart();
     }
@@ -95,9 +100,105 @@ impl Machine {
     /// executed, interleaving cores uniformly at random (deterministic
     /// under `rng`). Flushes caches on completion so raw memory reads see
     /// final state.
-    pub fn run(
+    ///
+    /// Execution uses the predecoded fast path and is bit-identical to
+    /// [`Machine::run_reference`] in every observable product: hook call
+    /// sequence, corruption events, usage counters, cycles, energy,
+    /// memory, and the returned outcome. The only non-contractual
+    /// difference is the `rng` stream position afterwards — with a single
+    /// live core the schedule is forced, so the fast path consumes no
+    /// interleave draws (forks are seed-derived and unaffected).
+    pub fn run<H: FaultHook + ?Sized>(
         &mut self,
-        hook: &mut dyn FaultHook,
+        hook: &mut H,
+        rng: &mut DetRng,
+        max_steps: u64,
+    ) -> RunOutcome {
+        let mut steps = 0u64;
+        let mut live: Vec<usize> = (0..self.cores.len())
+            .filter(|&i| self.programs[i].is_some())
+            .collect();
+        if live.is_empty() {
+            return RunOutcome {
+                completed: true,
+                steps: 0,
+                cycles: 0,
+            };
+        }
+        live.retain(|&i| !self.cores[i].halted());
+
+        // Contended phase: more than one live core, so each step draws a
+        // scheduling pick exactly as the reference interpreter does.
+        while live.len() > 1 && steps < max_steps {
+            let pick = rng.below(live.len() as u64) as usize;
+            let core_idx = live[pick];
+            let prog = self.decoded[core_idx].as_ref().expect("loaded");
+            let cost = self.cores[core_idx].step_decoded(
+                prog,
+                &mut self.mem,
+                hook,
+                &mut self.usage,
+                &mut self.events,
+            );
+            self.cycles[core_idx] += cost.cycles;
+            self.energy[core_idx] += cost.energy;
+            steps += 1;
+            if self.cores[core_idx].halted() {
+                live.swap_remove(pick);
+            }
+        }
+
+        // Single-live-core phase (the whole run for golden/profiling
+        // workloads): the schedule is forced, so no draws, and fused
+        // pairs execute straight-line when the step budget allows both
+        // micro-ops. Costs accumulate per micro-op in original order —
+        // f64 addition is not associative, so the energy sums must not
+        // be folded.
+        if let [core_idx] = live[..] {
+            let prog = self.decoded[core_idx].as_ref().expect("loaded");
+            let core = &mut self.cores[core_idx];
+            let cycles = &mut self.cycles[core_idx];
+            let energy = &mut self.energy[core_idx];
+            while !core.halted && steps < max_steps {
+                if steps + 2 <= max_steps {
+                    if let Some(fused) = prog.fused_at(core.pc) {
+                        let (c1, c2) =
+                            core.exec_fused(fused, hook, &mut self.usage, &mut self.events);
+                        *cycles += c1.cycles;
+                        *energy += c1.energy;
+                        *cycles += c2.cycles;
+                        *energy += c2.energy;
+                        steps += 2;
+                        continue;
+                    }
+                }
+                let cost =
+                    core.step_decoded(prog, &mut self.mem, hook, &mut self.usage, &mut self.events);
+                *cycles += cost.cycles;
+                *energy += cost.energy;
+                steps += 1;
+            }
+            if core.halted {
+                live.clear();
+            }
+        }
+
+        self.mem.flush_all();
+        RunOutcome {
+            completed: live.is_empty(),
+            steps,
+            cycles: self.cycles.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// The seed interpreter loop, kept verbatim: un-predecoded dispatch
+    /// and one scheduling draw per step regardless of live-core count.
+    /// The conformance gate and `tests/fastpath_equivalence.rs` compare
+    /// [`Machine::run`] against this to prove the fast path emits
+    /// identical bits.
+    pub fn run_reference<H: FaultHook + ?Sized>(
+        &mut self,
+        hook: &mut H,
         rng: &mut DetRng,
         max_steps: u64,
     ) -> RunOutcome {
@@ -151,6 +252,22 @@ impl Machine {
         }
         self.events.clear();
         self.usage.reset();
+        self.cycles.iter_mut().for_each(|c| *c = 0);
+        self.energy.iter_mut().for_each(|e| *e = 0.0);
+    }
+
+    /// Cold restart: zeroed memory, fresh caches and stats, zeroed
+    /// registers, cleared run products — indistinguishable from a newly
+    /// constructed machine except that loaded programs (and their decoded
+    /// images) are kept. Lets callers reuse one `Machine` across unit
+    /// iterations instead of reallocating memory and re-decoding.
+    pub fn restart(&mut self) {
+        self.mem.reset();
+        for c in &mut self.cores {
+            *c = Core::new(c.id);
+        }
+        self.usage.reset();
+        self.events.clear();
         self.cycles.iter_mut().for_each(|c| *c = 0);
         self.energy.iter_mut().for_each(|e| *e = 0.0);
     }
@@ -218,6 +335,24 @@ mod tests {
     }
 
     #[test]
+    fn step_budget_is_exact_with_fused_pairs() {
+        // The runaway body is IntOp+LoopEnd, a fused pair; odd budgets
+        // force the fast path to fall back to single-step dispatch for
+        // the final instruction.
+        let mut m = Machine::new(1, 4096);
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(0, 1);
+        b.loop_start(u32::MAX);
+        b.int_op(IntOpKind::Add, DataType::Bin64, 0, 0, 0);
+        b.loop_end();
+        m.load(0, b.build());
+        let mut rng = DetRng::new(3);
+        let out = m.run(&mut NoFaults, &mut rng, 10_001);
+        assert!(!out.completed);
+        assert_eq!(out.steps, 10_001);
+    }
+
+    #[test]
     fn lock_counter_is_exact_with_healthy_coherence() {
         let mut m = Machine::new(4, 1 << 16);
         for c in 0..4 {
@@ -274,5 +409,56 @@ mod tests {
         // And it can run again.
         let out = m.run(&mut NoFaults, &mut rng, 100);
         assert!(out.completed);
+    }
+
+    #[test]
+    fn restart_matches_fresh_machine() {
+        let program = counter_program(0, 64, 10);
+        let mut reused = Machine::new(1, 1 << 16);
+        reused.load(0, program.clone());
+        let mut rng = DetRng::new(9);
+        reused.run(&mut NoFaults, &mut rng, 1_000_000);
+        reused.restart();
+        let mut rng = DetRng::new(9);
+        let out_reused = reused.run(&mut NoFaults, &mut rng, 1_000_000);
+
+        let mut fresh = Machine::new(1, 1 << 16);
+        fresh.load(0, program);
+        let mut rng = DetRng::new(9);
+        let out_fresh = fresh.run(&mut NoFaults, &mut rng, 1_000_000);
+
+        assert_eq!(out_reused, out_fresh);
+        assert_eq!(reused.mem.raw_read_u64(64), fresh.mem.raw_read_u64(64));
+        assert_eq!(reused.cycles, fresh.cycles);
+        assert_eq!(
+            reused.core(0).regs.int(3),
+            fresh.core(0).regs.int(3),
+            "registers match after restart"
+        );
+    }
+
+    #[test]
+    fn fast_path_matches_reference_interpreter() {
+        for cores in [1usize, 2, 4] {
+            for seed in [1u64, 7, 42] {
+                let build = || {
+                    let mut m = Machine::new(cores, 1 << 16);
+                    for c in 0..cores {
+                        m.load(c, counter_program(0, 64, 12));
+                    }
+                    m
+                };
+                let mut fast = build();
+                let mut rng = DetRng::new(seed);
+                let out_fast = fast.run(&mut NoFaults, &mut rng, 5_000_000);
+                let mut reference = build();
+                let mut rng = DetRng::new(seed);
+                let out_ref = reference.run_reference(&mut NoFaults, &mut rng, 5_000_000);
+                assert_eq!(out_fast, out_ref, "cores={cores} seed={seed}");
+                assert_eq!(fast.mem.raw_read_u64(64), reference.mem.raw_read_u64(64));
+                assert_eq!(fast.cycles, reference.cycles);
+                assert_eq!(fast.usage.profile(), reference.usage.profile());
+            }
+        }
     }
 }

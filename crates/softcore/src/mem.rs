@@ -132,8 +132,19 @@ impl MemSystem {
         addr & !(LINE_BYTES - 1)
     }
 
+    /// Resets to the just-constructed state: zeroed memory, empty caches,
+    /// zeroed stats. Geometry (size, core count) is unchanged.
+    pub fn reset(&mut self) {
+        self.mem.iter_mut().for_each(|w| *w = 0);
+        for cache in &mut self.caches {
+            *cache = L1::new();
+        }
+        self.stats = MemStats::default();
+    }
+
     /// Reads a word through `core`'s cache.
-    pub fn read_u64(&mut self, core: usize, addr: u64, hook: &mut dyn FaultHook) -> u64 {
+    #[inline]
+    pub fn read_u64<H: FaultHook + ?Sized>(&mut self, core: usize, addr: u64, hook: &mut H) -> u64 {
         let tag = Self::line_tag(addr);
         let word = (addr - tag) as usize / 8;
         if let Some(line) = self.caches[core].lookup(tag) {
@@ -146,7 +157,14 @@ impl MemSystem {
     }
 
     /// Writes a word through `core`'s cache (write-allocate, write-back).
-    pub fn write_u64(&mut self, core: usize, addr: u64, val: u64, hook: &mut dyn FaultHook) {
+    #[inline]
+    pub fn write_u64<H: FaultHook + ?Sized>(
+        &mut self,
+        core: usize,
+        addr: u64,
+        val: u64,
+        hook: &mut H,
+    ) {
         let tag = Self::line_tag(addr);
         let word = (addr - tag) as usize / 8;
         // Fast path: already exclusive or modified.
@@ -202,13 +220,13 @@ impl MemSystem {
     /// ordinary reads. (Without this, a dropped invalidation would leave
     /// a spin-lock waiter caching a stale `held` word forever — a hang,
     /// i.e. a *detected* failure, not a silent one.)
-    pub fn cas_u64(
+    pub fn cas_u64<H: FaultHook + ?Sized>(
         &mut self,
         core: usize,
         addr: u64,
         expected: u64,
         new: u64,
-        hook: &mut dyn FaultHook,
+        hook: &mut H,
     ) -> bool {
         let tag = Self::line_tag(addr);
         let word = (addr - tag) as usize / 8;
@@ -248,11 +266,11 @@ impl MemSystem {
 
     /// Fetches a line into `core`'s cache (read miss path). Returns the
     /// line data.
-    fn fetch_line(
+    fn fetch_line<H: FaultHook + ?Sized>(
         &mut self,
         core: usize,
         tag: u64,
-        _hook: &mut dyn FaultHook,
+        _hook: &mut H,
     ) -> [u64; LINE_WORDS] {
         // Snoop: a Modified copy elsewhere is written back and demoted.
         let mut shared_elsewhere = false;
@@ -287,7 +305,7 @@ impl MemSystem {
 
     /// Sends invalidations for `tag` to every core but `core`; the fault
     /// hook may drop individual deliveries, leaving stale Shared copies.
-    fn invalidate_others(&mut self, core: usize, tag: u64, hook: &mut dyn FaultHook) {
+    fn invalidate_others<H: FaultHook + ?Sized>(&mut self, core: usize, tag: u64, hook: &mut H) {
         for other in 0..self.caches.len() {
             if other == core {
                 continue;

@@ -45,41 +45,49 @@ impl RegFile {
     /// # Panics
     ///
     /// Panics on an out-of-range register index (a malformed program).
+    #[inline]
     pub fn int(&self, r: u8) -> u64 {
         self.int[r as usize]
     }
 
     /// Writes integer register `r`.
+    #[inline]
     pub fn set_int(&mut self, r: u8, v: u64) {
         self.int[r as usize] = v;
     }
 
     /// Reads float register `r`.
+    #[inline]
     pub fn float(&self, r: u8) -> f64 {
         self.float[r as usize]
     }
 
     /// Writes float register `r`.
+    #[inline]
     pub fn set_float(&mut self, r: u8, v: f64) {
         self.float[r as usize] = v;
     }
 
     /// Reads x87 register `r`.
+    #[inline]
     pub fn x87(&self, r: u8) -> F80 {
         self.x87[r as usize]
     }
 
     /// Writes x87 register `r`.
+    #[inline]
     pub fn set_x87(&mut self, r: u8, v: F80) {
         self.x87[r as usize] = v;
     }
 
     /// Reads vector register `r`.
+    #[inline]
     pub fn vec(&self, r: u8) -> VecReg {
         self.vec[r as usize]
     }
 
     /// Writes vector register `r`.
+    #[inline]
     pub fn set_vec(&mut self, r: u8, v: VecReg) {
         self.vec[r as usize] = v;
     }

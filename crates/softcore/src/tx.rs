@@ -47,12 +47,12 @@ impl TxState {
 
     /// Transactional read: own writes first, then memory (recording the
     /// observed value for validation).
-    pub fn read(
+    pub fn read<H: FaultHook + ?Sized>(
         &mut self,
         core: usize,
         addr: u64,
         mem: &mut MemSystem,
-        hook: &mut dyn FaultHook,
+        hook: &mut H,
     ) -> u64 {
         if let Some(&v) = self.write_set.get(&addr) {
             return v;
@@ -72,7 +72,12 @@ impl TxState {
     /// Validation re-reads every read-set address; any changed value is a
     /// conflict. On conflict the hook may force the commit (the CNST2
     /// defect), publishing writes despite lost isolation.
-    pub fn commit(&mut self, core: usize, mem: &mut MemSystem, hook: &mut dyn FaultHook) -> bool {
+    pub fn commit<H: FaultHook + ?Sized>(
+        &mut self,
+        core: usize,
+        mem: &mut MemSystem,
+        hook: &mut H,
+    ) -> bool {
         if !self.active {
             return false;
         }

@@ -24,11 +24,13 @@ impl UsageCounters {
     }
 
     /// Records one execution of `class` on `core`.
+    #[inline]
     pub fn record(&mut self, core: usize, class: InstClass) {
         self.counts[core][class as usize] += 1;
     }
 
     /// Executions of `class` on `core`.
+    #[inline]
     pub fn count(&self, core: usize, class: InstClass) -> u64 {
         self.counts[core][class as usize]
     }

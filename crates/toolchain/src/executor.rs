@@ -21,7 +21,7 @@ use crate::profile::Profiler;
 use crate::testcase::{CheckKind, Invariant, OutputRegion, Testcase};
 use rand::RngCore as _;
 use sdc_model::{CoreId, DataType, DetRng, Duration, SdcRecord, SdcType, SettingId, VirtualClock};
-use silicon::defect::DefectKind;
+use silicon::defect::{Defect, DefectKind};
 use silicon::{Injector, Processor};
 use softcore::{InstClass, Machine, NoFaults};
 use std::sync::Arc;
@@ -118,6 +118,16 @@ pub(crate) struct CoreProfile {
     invalidations_per_sec: f64,
     /// Conflicted transactional commits per second.
     tx_conflicts_per_sec: f64,
+}
+
+/// Precomputed computation-site weights for one (defect, tested core):
+/// which sites the defect can corrupt, their sampling weights, and the
+/// weights' sum. All three are temperature-independent, so the
+/// accelerated run builds them once instead of once per time chunk.
+struct CompSites {
+    keys: Vec<(InstClass, DataType)>,
+    weights: Vec<f64>,
+    total_rate: f64,
 }
 
 /// Operational-fault hook for profile reads: `(key, read attempt)` →
@@ -306,6 +316,40 @@ impl<'p> Executor<'p> {
             self.thermal.set_power(pc as usize, power);
         }
 
+        // The defect loop below runs every chunk of a possibly weeks-long
+        // virtual duration; everything temperature-independent — which
+        // defects apply, and which sites each can corrupt on each tested
+        // core — is hoisted out of it.
+        let applicable: Vec<(&Defect, Option<Vec<CompSites>>)> = self
+            .processor
+            .defects
+            .iter()
+            .filter(|d| d.applies_to(tc.id))
+            .map(|defect| {
+                let sites = match &defect.kind {
+                    DefectKind::Computation { .. } => Some(
+                        (0..cores.len())
+                            .map(|idx| {
+                                let matching: Vec<((InstClass, DataType), f64)> = profiles[idx]
+                                    .site_rates
+                                    .iter()
+                                    .filter(|((class, dt_), _)| defect.matches(*class, *dt_))
+                                    .copied()
+                                    .collect();
+                                CompSites {
+                                    keys: matching.iter().map(|&(k, _)| k).collect(),
+                                    weights: matching.iter().map(|&(_, v)| v).collect(),
+                                    total_rate: matching.iter().map(|&(_, v)| v).sum(),
+                                }
+                            })
+                            .collect(),
+                    ),
+                    _ => None,
+                };
+                (defect, sites)
+            })
+            .collect();
+
         let start = self.clock.now();
         let mut elapsed = Duration::ZERO;
         let mut records = Vec::new();
@@ -331,10 +375,7 @@ impl<'p> Executor<'p> {
             temp_chunks += 1;
             max_temp = max_temp.max(hottest_tested);
 
-            for defect in &self.processor.defects {
-                if !defect.applies_to(tc.id) {
-                    continue;
-                }
+            for &(defect, ref comp_sites) in &applicable {
                 for (idx, &pcore) in cores.iter().enumerate() {
                     let temp = self.thermal.temp(pcore as usize);
                     let rate = defect.rate(pcore, temp);
@@ -343,25 +384,19 @@ impl<'p> Executor<'p> {
                     }
                     match &defect.kind {
                         DefectKind::Computation { .. } => {
-                            let matching: Vec<((InstClass, DataType), f64)> = profiles[idx]
-                                .site_rates
-                                .iter()
-                                .filter(|((class, dt_), _)| defect.matches(*class, *dt_))
-                                .map(|&(k, v)| (k, v))
-                                .collect();
-                            let total_rate: f64 = matching.iter().map(|&(_, v)| v).sum();
-                            if total_rate <= 0.0 {
+                            let sites =
+                                &comp_sites.as_ref().expect("computation defect has sites")[idx];
+                            if sites.total_rate <= 0.0 {
                                 continue;
                             }
-                            let lambda = total_rate * rate * dt_secs;
+                            let lambda = sites.total_rate * rate * dt_secs;
                             let k = rng.poisson(lambda);
                             error_count += k;
                             errors_per_core[idx] += k;
                             let materialize = (k as usize)
                                 .min(self.cfg.max_records.saturating_sub(records.len()));
                             for _ in 0..materialize {
-                                let weights: Vec<f64> = matching.iter().map(|&(_, v)| v).collect();
-                                let (class, dt_) = matching[rng.weighted(&weights)].0;
+                                let (class, dt_) = sites.keys[rng.weighted(&sites.weights)];
                                 let samples = sampler_samples.samples(class, dt_);
                                 let expected = if samples.is_empty() {
                                     0
@@ -501,43 +536,72 @@ impl<'p> Executor<'p> {
         let seed = rng.next_u64();
         let built = builders::build(tc, cores.len(), iters, seed);
 
-        let run_machine =
-            |hook_faulty: bool, rng: &mut DetRng, thermal: &ThermalModel| -> Result<Machine, ExecError> {
-                let mut machine = Machine::new(cores.len(), built.mem_bytes);
-                for &(addr, val) in &built.mem_init {
-                    machine.mem.raw_write_u64(addr, val);
-                }
-                for (c, p) in built.programs.iter().enumerate() {
-                    if let Some(p) = p {
-                        machine.load(c, p.clone());
-                    }
-                }
-                let mut interleave = rng.fork(0x5150);
-                let out = if hook_faulty {
-                    let temps: Vec<f64> = cores.iter().map(|&c| thermal.temp(c as usize)).collect();
-                    // Only the defects whose trigger paths this testcase
-                    // reaches participate (§4.1's selectivity).
-                    let mut gated = self.processor.clone();
-                    gated.defects.retain(|d| d.applies_to(tc.id));
-                    let mut injector = Injector::new(&gated, cores.to_vec(), 45.0, rng.fork(0x1f));
-                    injector.set_temps(&temps);
-                    machine.run(&mut injector, &mut interleave, self.cfg.max_unit_steps)
-                } else {
-                    machine.run(&mut NoFaults, &mut interleave, self.cfg.max_unit_steps)
-                };
-                if !out.completed {
-                    return Err(ExecError::StepBudget {
-                        testcase: tc.id,
-                        budget: self.cfg.max_unit_steps,
-                    });
-                }
-                Ok(machine)
-            };
+        // Only the defects whose trigger paths this testcase reaches
+        // participate (§4.1's selectivity). Cloned once per testcase, not
+        // once per machine run.
+        let mut gated = self.processor.clone();
+        gated.defects.retain(|d| d.applies_to(tc.id));
 
-        let mut golden_rng = rng.fork(1);
-        let mut faulty_rng = rng.fork(2);
-        let golden = run_machine(false, &mut golden_rng, &self.thermal)?;
-        let faulty = run_machine(true, &mut faulty_rng, &self.thermal)?;
+        // One machine serves both runs: programs are loaded (and
+        // predecoded) once, and `restart` rewinds architectural state
+        // between the golden and faulty executions.
+        let mut machine = Machine::new(cores.len(), built.mem_bytes);
+        for (c, p) in built.programs.iter().enumerate() {
+            if let Some(p) = p {
+                machine.load(c, p.clone());
+            }
+        }
+        let budget_exceeded = |out: &softcore::RunOutcome| {
+            if out.completed {
+                Ok(())
+            } else {
+                Err(ExecError::StepBudget {
+                    testcase: tc.id,
+                    budget: self.cfg.max_unit_steps,
+                })
+            }
+        };
+
+        // Golden run.
+        let golden_rng = rng.fork(1);
+        for &(addr, val) in &built.mem_init {
+            machine.mem.raw_write_u64(addr, val);
+        }
+        let mut interleave = golden_rng.fork(0x5150);
+        let out = machine.run(&mut NoFaults, &mut interleave, self.cfg.max_unit_steps);
+        budget_exceeded(&out)?;
+        // Capture everything the comparison needs from the golden machine
+        // before it is restarted for the faulty run.
+        let golden_cycles = machine.cycles.iter().copied().max().unwrap_or(0);
+        let golden_elems: Vec<Vec<u128>> = match &built.check {
+            CheckKind::GoldenCompare => built
+                .outputs
+                .iter()
+                .map(|region| {
+                    (0..region.count)
+                        .map(|i| read_element(&machine, region, i))
+                        .collect()
+                })
+                .collect(),
+            CheckKind::Invariants(_) => Vec::new(),
+        };
+
+        // Faulty run on the same (restarted) machine.
+        machine.restart();
+        let faulty_rng = rng.fork(2);
+        for &(addr, val) in &built.mem_init {
+            machine.mem.raw_write_u64(addr, val);
+        }
+        let mut interleave = faulty_rng.fork(0x5150);
+        let temps: Vec<f64> = cores
+            .iter()
+            .map(|&c| self.thermal.temp(c as usize))
+            .collect();
+        let mut injector = Injector::new(&gated, cores.to_vec(), 45.0, faulty_rng.fork(0x1f));
+        injector.set_temps(&temps);
+        let out = machine.run(&mut injector, &mut interleave, self.cfg.max_unit_steps);
+        budget_exceeded(&out)?;
+        let faulty = machine;
 
         let mut records = Vec::new();
         let temp = self.thermal.max_temp();
@@ -550,7 +614,7 @@ impl<'p> Executor<'p> {
                     let instance = ri.checked_div(per_instance).unwrap_or(0);
                     let pcore = cores[instance.min(cores.len() - 1)];
                     for i in 0..region.count {
-                        let e = read_element(&golden, region, i);
+                        let e = golden_elems[ri][i as usize];
                         let a = read_element(&faulty, region, i);
                         if e != a {
                             records.push(SdcRecord {
@@ -596,9 +660,7 @@ impl<'p> Executor<'p> {
                 errors_per_core[idx] += 1;
             }
         }
-        let duration = Duration::from_secs_f64(
-            golden.cycles.iter().copied().max().unwrap_or(0) as f64 / self.cfg.clock_hz,
-        );
+        let duration = Duration::from_secs_f64(golden_cycles as f64 / self.cfg.clock_hz);
         self.clock.advance(duration);
         Ok(TestcaseRun {
             testcase: tc.id,
@@ -641,7 +703,7 @@ fn compute_unit_profile(tc: &Testcase, key: ProfileKey, cfg: &ExecConfig) -> Cac
     );
     let unit_secs = (out.cycles.max(1)) as f64 / cfg.clock_hz;
     let mut profiles = vec![CoreProfile::default(); key.cores];
-    for (&(core, class, dt), &count) in profiler.counts() {
+    for ((core, class, dt), count) in profiler.counts() {
         profiles[core]
             .site_rates
             .push(((class, dt), count as f64 / unit_secs));

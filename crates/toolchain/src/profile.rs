@@ -5,20 +5,33 @@
 //! retires and what those result bits look like. A [`Profiler`] is a
 //! fault hook that never corrupts anything but records exactly that —
 //! the in-simulator analogue of the paper's Pin instrumentation (§4.1).
+//!
+//! Storage is flat per-site arrays indexed by [`InstClass::site_index`]
+//! rather than hash maps — the `corrupt` callback runs once per retired
+//! instruction, so it is on the interpreter's hottest path.
 
 use sdc_model::{DataType, DetRng};
-use softcore::{FaultHook, InstClass, RetireInfo};
-use std::collections::HashMap;
+use softcore::{FaultHook, InstClass, RetireInfo, NUM_SITES};
 
 /// Maximum retained bit samples per (class, datatype).
 const SAMPLE_CAP: usize = 64;
 
+/// The `(class, dt)` pair of a flat site index (inverse of
+/// [`InstClass::site_index`]).
+fn site_of(index: usize) -> (InstClass, DataType) {
+    let dts = DataType::ALL.len();
+    (InstClass::ALL[index / dts], DataType::ALL[index % dts])
+}
+
 /// Records retire-site statistics without perturbing execution.
 #[derive(Debug)]
 pub struct Profiler {
-    counts: HashMap<(usize, InstClass, DataType), u64>,
-    samples: HashMap<(InstClass, DataType), Vec<u128>>,
-    seen: HashMap<(InstClass, DataType), u64>,
+    /// Per-core flat site counts, grown on first retire from a core.
+    counts: Vec<[u64; NUM_SITES]>,
+    /// Per-site reservoir of sampled result bits.
+    samples: Vec<Vec<u128>>,
+    /// Per-site total observations (reservoir denominator).
+    seen: Vec<u64>,
     rng: DetRng,
 }
 
@@ -26,54 +39,68 @@ impl Profiler {
     /// A fresh profiler; `rng` drives reservoir sampling.
     pub fn new(rng: DetRng) -> Self {
         Profiler {
-            counts: HashMap::new(),
-            samples: HashMap::new(),
-            seen: HashMap::new(),
+            counts: Vec::new(),
+            samples: vec![Vec::new(); NUM_SITES],
+            seen: vec![0; NUM_SITES],
             rng,
         }
     }
 
     /// Retired results of (class, dt) on `core` during the unit run.
     pub fn count(&self, core: usize, class: InstClass, dt: DataType) -> u64 {
-        self.counts.get(&(core, class, dt)).copied().unwrap_or(0)
+        self.counts
+            .get(core)
+            .map(|c| c[class.site_index(dt)])
+            .unwrap_or(0)
     }
 
-    /// All (core, class, dt) → count entries.
-    pub fn counts(&self) -> impl Iterator<Item = (&(usize, InstClass, DataType), &u64)> {
-        self.counts.iter()
+    /// All (core, class, dt) → count entries with a nonzero count.
+    pub fn counts(&self) -> impl Iterator<Item = ((usize, InstClass, DataType), u64)> + '_ {
+        self.counts.iter().enumerate().flat_map(|(core, sites)| {
+            sites
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(move |(site, &n)| {
+                    let (class, dt) = site_of(site);
+                    ((core, class, dt), n)
+                })
+        })
     }
 
     /// Sampled result bits for (class, dt) (up to 64, reservoir-sampled).
     pub fn samples(&self, class: InstClass, dt: DataType) -> &[u128] {
-        self.samples
-            .get(&(class, dt))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        &self.samples[class.site_index(dt)]
     }
 
-    /// Distinct (class, dt) pairs observed.
+    /// Distinct (class, dt) pairs observed, ascending (flat site order is
+    /// `(InstClass, DataType)` `Ord` order).
     pub fn site_kinds(&self) -> Vec<(InstClass, DataType)> {
-        let mut v: Vec<_> = self.samples.keys().copied().collect();
-        v.sort();
-        v
+        self.seen
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(site, _)| site_of(site))
+            .collect()
     }
 }
 
 impl FaultHook for Profiler {
     fn corrupt(&mut self, info: &RetireInfo) -> Option<u128> {
-        *self
-            .counts
-            .entry((info.core, info.class, info.dt))
-            .or_insert(0) += 1;
-        let seen = self.seen.entry((info.class, info.dt)).or_insert(0);
-        *seen += 1;
-        let bucket = self.samples.entry((info.class, info.dt)).or_default();
+        let site = info.class.site_index(info.dt);
+        if info.core >= self.counts.len() {
+            self.counts.resize_with(info.core + 1, || [0; NUM_SITES]);
+        }
+        self.counts[info.core][site] += 1;
+        self.seen[site] += 1;
+        let seen = self.seen[site];
+        let bucket = &mut self.samples[site];
         if bucket.len() < SAMPLE_CAP {
             bucket.push(info.bits);
         } else {
             // Reservoir sampling keeps the samples representative of the
             // whole unit, not just its first instructions.
-            let j = self.rng.below(*seen) as usize;
+            let j = self.rng.below(seen) as usize;
             if j < SAMPLE_CAP {
                 bucket[j] = info.bits;
             }
@@ -134,5 +161,20 @@ mod tests {
         p.corrupt(&info(1, InstClass::Crc, DataType::Bin32, 2));
         let kinds = p.site_kinds();
         assert_eq!(kinds.len(), 2);
+        let mut sorted = kinds.clone();
+        sorted.sort();
+        assert_eq!(kinds, sorted, "flat site order is already sorted");
+    }
+
+    #[test]
+    fn counts_iterator_matches_point_queries() {
+        let mut p = Profiler::new(DetRng::new(4));
+        p.corrupt(&info(2, InstClass::Hash, DataType::Bin64, 1));
+        p.corrupt(&info(2, InstClass::Hash, DataType::Bin64, 2));
+        p.corrupt(&info(0, InstClass::FloatMul, DataType::F64, 3));
+        let all: Vec<_> = p.counts().collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&((2, InstClass::Hash, DataType::Bin64), 2)));
+        assert!(all.contains(&((0, InstClass::FloatMul, DataType::F64), 1)));
     }
 }

@@ -33,8 +33,11 @@ ck="$(mktemp -u "${TMPDIR:-/tmp}/tier1-chaos-XXXXXX.json")"
 ./target/release/repro table1 --quick --chaos "offline=0.05,preempt=0.10,seed=7" --checkpoint "$ck"
 rm -f "$ck"
 
+echo "== tier-1: softcore fast-path regression gate (bench --quick) =="
+cargo bench -q -p bench --bench softcore_hotpath -- --quick
+
 echo "== tier-1: clippy (chaos-touched crates) =="
-cargo clippy -q -p toolchain -p fleet -p farron -p analysis -p sdc-repro -- -D warnings
+cargo clippy -q -p toolchain -p fleet -p farron -p analysis -p sdc-repro -- -D warnings -D clippy::perf
 
 if [[ "$conform" -eq 1 ]]; then
   echo "== tier-1: conformance gate (quick) =="

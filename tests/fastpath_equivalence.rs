@@ -1,0 +1,224 @@
+//! Fast-path equivalence: the optimized interpreter — predecoded
+//! programs, fused instruction pairs, the single-live-core loop, and
+//! monomorphized fault hooks — must emit bits identical to the
+//! seed-faithful reference interpreter ([`Machine::run_reference`])
+//! under every hook, across seeds and core counts. A `dyn`-dispatched
+//! hook must also match its monomorphized form exactly.
+
+use conformance::metamorphic::assert_transparent;
+use sdc_model::{ArchId, CpuId, DataType, DetRng};
+use silicon::{BitPattern, Defect, DefectKind, DefectScope, Injector, Processor, Trigger};
+use softcore::{
+    FaultHook, InstClass, IntOpKind, LaneType, Machine, NoFaults, Precision, Program,
+    ProgramBuilder, VOpKind,
+};
+use toolchain::profile::Profiler;
+
+/// Everything observable about a finished run, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    completed: bool,
+    steps: u64,
+    out_cycles: u64,
+    events: Vec<(usize, InstClass, DataType, u128, u128)>,
+    usage: Vec<(InstClass, u64)>,
+    cycles: Vec<u64>,
+    energy_bits: Vec<u64>,
+    tx: Vec<(u64, u64)>,
+    mem_words: Vec<u64>,
+}
+
+fn fingerprint(m: &Machine, out: softcore::RunOutcome) -> Fingerprint {
+    Fingerprint {
+        completed: out.completed,
+        steps: out.steps,
+        out_cycles: out.cycles,
+        events: m
+            .events
+            .iter()
+            .map(|e| (e.core, e.class, e.dt, e.expected, e.actual))
+            .collect(),
+        usage: m.usage.profile(),
+        cycles: m.cycles.clone(),
+        energy_bits: m.energy.iter().map(|e| e.to_bits()).collect(),
+        tx: (0..m.num_cores()).map(|c| m.core(c).tx_stats()).collect(),
+        mem_words: (0..64).map(|i| m.mem.raw_read_u64(i * 8)).collect(),
+    }
+}
+
+/// A mixed per-core program exercising fusable pairs (`MovImm`+`IntOp`,
+/// `IntOp`+`IntOp`, `IntOp`+`LoopEnd`), floats, vectors, CRC, memory
+/// traffic, locks, and transactions.
+fn mixed_program(core: usize, iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(0, 3 + core as u64).mov_imm(1, 5);
+    b.mov_imm(4, 64); // shared counter address
+    b.mov_imm(5, 1);
+    b.fmov_imm(0, 1.01).fmov_imm(1, 0.93);
+    b.loop_start(iters);
+    // MovImm+IntOp fusion candidate.
+    b.mov_imm(2, 7);
+    b.int_op(IntOpKind::Add, DataType::I32, 2, 0, 2);
+    // IntOp+IntOp fusion candidate.
+    b.int_op(IntOpKind::Xor, DataType::U32, 0, 0, 2);
+    b.int_op(IntOpKind::Mul, DataType::I16, 3, 2, 1);
+    b.ffma(Precision::F64, 2, 0, 1, 0);
+    b.vop(VOpKind::Fma, LaneType::F32x8, 1, 0, 1, 2);
+    b.crc32_step(6, 6, 2);
+    b.lock_acquire(4);
+    b.load(7, 4, 0);
+    b.int_op(IntOpKind::Add, DataType::Bin64, 7, 7, 5);
+    b.store(7, 4, 0);
+    b.lock_release(4);
+    b.tx_begin();
+    b.store(3, 4, 128 + 8 * core as u64);
+    b.tx_commit(8);
+    // IntOp+LoopEnd fusion candidate (macro-fused compare+branch).
+    b.int_op(IntOpKind::Sub, DataType::I32, 3, 3, 5);
+    b.loop_end();
+    b.store(0, 4, 256 + 8 * core as u64);
+    b.build()
+}
+
+/// An integer-only hot loop: the best case for fusion and the
+/// single-core fast path.
+fn int_loop(iters: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(0, 3).mov_imm(1, 5).loop_start(iters);
+    b.int_op(IntOpKind::Add, DataType::I32, 2, 0, 1);
+    b.int_op(IntOpKind::Xor, DataType::I32, 0, 0, 2);
+    b.loop_end();
+    b.mov_imm(3, 512);
+    b.store(0, 3, 0);
+    b.build()
+}
+
+fn defective_processor() -> Processor {
+    let mut p = Processor::healthy(CpuId(7), ArchId(2), 1.5);
+    p.physical_cores = 8;
+    p.defects.push(Defect::new(
+        DefectKind::Computation {
+            classes: vec![InstClass::IntArith, InstClass::VecFma],
+            datatypes: vec![DataType::I32, DataType::F32],
+            patterns: vec![BitPattern {
+                mask: 0b100,
+                weight: 1.0,
+            }],
+            pattern_dt: DataType::I32,
+            random_mask_prob: 0.1,
+        },
+        DefectScope::SingleCore(0),
+        Trigger::flat(0.02),
+    ));
+    p.defects.push(Defect::new(
+        DefectKind::CoherenceDrop,
+        DefectScope::SingleCore(1),
+        Trigger::flat(0.05),
+    ));
+    p
+}
+
+/// Builds a machine, runs it under the named interpreter variant with
+/// the given hook factory, and fingerprints the result. Fresh
+/// identically-seeded RNGs per variant: the interleave stream position
+/// after a run is not part of the machine contract.
+fn run_variant<H: FaultHook>(
+    variant: &str,
+    cores: usize,
+    seed: u64,
+    programs: &[Program],
+    hook: &mut H,
+) -> Fingerprint {
+    let mut m = Machine::new(cores, 1 << 14);
+    for (c, p) in programs.iter().enumerate() {
+        m.load(c, p.clone());
+    }
+    let mut interleave = DetRng::new(seed);
+    let out = match variant {
+        "fast" => m.run(hook, &mut interleave, u64::MAX),
+        "dyn" => {
+            let dyn_hook: &mut dyn FaultHook = hook;
+            m.run(dyn_hook, &mut interleave, u64::MAX)
+        }
+        "reference" => m.run_reference(hook, &mut interleave, u64::MAX),
+        other => panic!("unknown variant {other}"),
+    };
+    fingerprint(&m, out)
+}
+
+const VARIANTS: [&str; 3] = ["fast", "dyn", "reference"];
+
+#[test]
+fn golden_runs_identical_across_interpreters() {
+    for cores in [1usize, 2, 4] {
+        for seed in [1u64, 7, 42] {
+            let programs: Vec<Program> =
+                (0..cores).map(|c| mixed_program(c, 300)).collect();
+            assert_transparent(
+                &format!("golden c{cores} s{seed}"),
+                &VARIANTS,
+                |variant| run_variant(variant, cores, seed, &programs, &mut NoFaults),
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_runs_identical_across_interpreters() {
+    let proc_ = defective_processor();
+    for cores in [1usize, 2, 4] {
+        for seed in [3u64, 11] {
+            let programs: Vec<Program> =
+                (0..cores).map(|c| mixed_program(c, 300)).collect();
+            let core_map: Vec<u16> = (0..cores as u16).collect();
+            assert_transparent(
+                &format!("injected c{cores} s{seed}"),
+                &VARIANTS,
+                |variant| {
+                    // A fresh, identically-seeded injector per variant.
+                    let mut injector =
+                        Injector::new(&proc_, core_map.clone(), 45.0, DetRng::new(seed ^ 0x1f));
+                    injector.set_temps(&vec![62.0; cores]);
+                    run_variant(variant, cores, seed, &programs, &mut injector)
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn profiled_runs_identical_across_interpreters() {
+    for cores in [1usize, 2] {
+        let programs: Vec<Program> = (0..cores).map(|c| mixed_program(c, 300)).collect();
+        assert_transparent(
+            &format!("profiled c{cores}"),
+            &VARIANTS,
+            |variant| {
+                let mut profiler = Profiler::new(DetRng::new(0x9821));
+                let fp = run_variant(variant, cores, 5, &programs, &mut profiler);
+                let counts: Vec<_> = profiler.counts().collect();
+                let samples: Vec<_> = profiler
+                    .site_kinds()
+                    .into_iter()
+                    .map(|(class, dt)| profiler.samples(class, dt).to_vec())
+                    .collect();
+                (fp, counts, samples)
+            },
+        );
+    }
+}
+
+#[test]
+fn single_core_hot_loop_identical_and_fused() {
+    let program = int_loop(10_000);
+    let decoded = softcore::DecodedProgram::decode(&program);
+    assert!(
+        decoded.fused_pairs() > 0,
+        "the integer hot loop must contain fused pairs"
+    );
+    for seed in [1u64, 9, 1234] {
+        assert_transparent(&format!("hot loop s{seed}"), &VARIANTS, |variant| {
+            run_variant(variant, 1, seed, std::slice::from_ref(&program), &mut NoFaults)
+        });
+    }
+}
