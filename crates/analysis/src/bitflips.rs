@@ -7,7 +7,8 @@
 //! non-numerical data flips roughly uniformly (Figure 5). About half of
 //! all flips go 0→1.
 
-use sdc_model::{DataType, FlipDirection, SdcRecord};
+use crate::corpus::RecordCorpus;
+use sdc_model::{DataType, SdcRecord};
 
 /// One histogram bin of Figure 4/5.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,54 +21,17 @@ pub struct BitBin {
     pub one_to_zero: f64,
 }
 
-/// Per-bit flip histogram for computation records of `dt`.
-pub fn bit_histogram<'a>(
-    records: impl IntoIterator<Item = &'a SdcRecord>,
-    dt: DataType,
-) -> Vec<BitBin> {
-    let bits = dt.bits();
-    let mut up = vec![0u64; bits as usize];
-    let mut down = vec![0u64; bits as usize];
-    let mut total = 0u64;
-    for r in records {
-        if !r.is_computation() || r.datatype != dt {
-            continue;
-        }
-        for (idx, dir) in r.flips() {
-            match dir {
-                FlipDirection::ZeroToOne => up[idx as usize] += 1,
-                FlipDirection::OneToZero => down[idx as usize] += 1,
-            }
-            total += 1;
-        }
-    }
-    let total = total.max(1) as f64;
-    (0..bits)
-        .map(|index| BitBin {
-            index,
-            zero_to_one: up[index as usize] as f64 / total,
-            one_to_zero: down[index as usize] as f64 / total,
-        })
-        .collect()
+/// Per-bit flip histogram for computation records of `dt` — adapter
+/// over [`RecordCorpus::bit_histogram`]. Study-scale callers build one
+/// corpus and run every histogram on its columns.
+pub fn bit_histogram(records: &[SdcRecord], dt: DataType) -> Vec<BitBin> {
+    RecordCorpus::from_records(records).bit_histogram(dt)
 }
 
 /// Aggregate flip-direction split: fraction of all flips going 0→1
 /// (the paper reports 51.08%).
-pub fn zero_to_one_share<'a>(records: impl IntoIterator<Item = &'a SdcRecord>) -> f64 {
-    let mut up = 0u64;
-    let mut total = 0u64;
-    for r in records {
-        if !r.is_computation() {
-            continue;
-        }
-        for (_, dir) in r.flips() {
-            if dir == FlipDirection::ZeroToOne {
-                up += 1;
-            }
-            total += 1;
-        }
-    }
-    up as f64 / total.max(1) as f64
+pub fn zero_to_one_share(records: &[SdcRecord]) -> f64 {
+    RecordCorpus::from_records(records).zero_to_one_share()
 }
 
 /// Fraction of flips of float datatype `dt` that land in the fraction
@@ -76,16 +40,8 @@ pub fn zero_to_one_share<'a>(records: impl IntoIterator<Item = &'a SdcRecord>) -
 /// # Panics
 ///
 /// Panics if `dt` is not a float format.
-pub fn fraction_part_share<'a>(
-    records: impl IntoIterator<Item = &'a SdcRecord>,
-    dt: DataType,
-) -> f64 {
-    let frac_bits = dt.fraction_bits().expect("float datatype");
-    let hist = bit_histogram(records, dt);
-    hist.iter()
-        .filter(|b| b.index < frac_bits)
-        .map(|b| b.zero_to_one + b.one_to_zero)
-        .sum()
+pub fn fraction_part_share(records: &[SdcRecord], dt: DataType) -> f64 {
+    RecordCorpus::from_records(records).fraction_part_share(dt)
 }
 
 /// Fraction of flips landing in the top `k` most significant bits.

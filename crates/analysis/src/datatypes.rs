@@ -3,6 +3,7 @@
 //! A processor counts toward a datatype when its collected computation
 //! SDC records include a corrupted operation result of that datatype.
 
+use crate::corpus::StudyCorpus;
 use crate::study::StudyData;
 use sdc_model::DataType;
 
@@ -15,16 +16,43 @@ pub struct DatatypeShare {
     pub proportion: f64,
 }
 
-/// Computes Figure 3 from study data.
+/// Computes Figure 3 from study data (builds the per-case summaries of
+/// [`StudyData::corpus`] on the fly; use [`figure3_from`] when a
+/// [`StudyCorpus`] is already in hand).
 pub fn figure3(study: &StudyData) -> Vec<DatatypeShare> {
     let n = study.cases.len().max(1) as f64;
+    // One pass per case instead of |DataType::ALL| scans of its records.
+    let mut counts = [0usize; DataType::ALL.len()];
+    for case in &study.cases {
+        let mut seen = 0u16;
+        for r in case.computation_records() {
+            seen |= 1u16 << r.datatype as u16;
+        }
+        for (i, &dt) in DataType::ALL.iter().enumerate() {
+            counts[i] += usize::from(seen & (1u16 << dt as u16) != 0);
+        }
+    }
+    DataType::ALL
+        .iter()
+        .zip(counts)
+        .map(|(&datatype, count)| DatatypeShare {
+            datatype,
+            proportion: count as f64 / n,
+        })
+        .collect()
+}
+
+/// [`figure3`] from an already-built [`StudyCorpus`]: reads the
+/// per-case datatype bitmasks, touching no records at all.
+pub fn figure3_from(corpus: &StudyCorpus) -> Vec<DatatypeShare> {
+    let n = corpus.cases.len().max(1) as f64;
     DataType::ALL
         .iter()
         .map(|&datatype| {
-            let count = study
+            let count = corpus
                 .cases
                 .iter()
-                .filter(|c| c.computation_records().any(|r| r.datatype == datatype))
+                .filter(|c| c.has_comp_datatype(datatype))
                 .count();
             DatatypeShare {
                 datatype,
@@ -36,10 +64,14 @@ pub fn figure3(study: &StudyData) -> Vec<DatatypeShare> {
 
 /// The affected datatypes of one case (Table 3's "impacted datatypes").
 pub fn datatypes_of_case(case: &crate::study::CaseData) -> Vec<DataType> {
+    let mut seen = 0u16;
+    for r in case.computation_records() {
+        seen |= 1u16 << r.datatype as u16;
+    }
     let mut v: Vec<DataType> = DataType::ALL
         .iter()
         .copied()
-        .filter(|&dt| case.computation_records().any(|r| r.datatype == dt))
+        .filter(|&dt| seen & (1u16 << dt as u16) != 0)
         .collect();
     v.sort();
     v
@@ -134,6 +166,18 @@ mod tests {
         let (f, o) = float_vs_other_share(&figure3(&study));
         assert_eq!(f, 1.0);
         assert_eq!(o, 0.0);
+    }
+
+    #[test]
+    fn figure3_from_corpus_matches_direct() {
+        let study = StudyData {
+            cases: vec![
+                case_with(&[DataType::F64, DataType::F64, DataType::I32]),
+                case_with(&[DataType::Byte]),
+                case_with(&[]),
+            ],
+        };
+        assert_eq!(figure3(&study), figure3_from(&study.corpus()));
     }
 
     #[test]

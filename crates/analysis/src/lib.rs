@@ -6,6 +6,7 @@
 //! | Module | Paper artifact |
 //! |---|---|
 //! | [`study`] | the deep-study driver (§2.4's "tens of millions of tests") |
+//! | [`corpus`] | the columnar record corpus the figure passes scan |
 //! | [`failure_rates`] | Tables 1–2 (via the `fleet` campaign) |
 //! | [`features`] | Figure 2 — faulty processors per vulnerable feature |
 //! | [`datatypes`] | Figure 3 — faulty processors per affected datatype |
@@ -21,6 +22,7 @@
 pub mod attrition;
 pub mod bitflips;
 pub mod casebook;
+pub mod corpus;
 pub mod datatypes;
 pub mod failure_rates;
 pub mod features;
@@ -33,4 +35,5 @@ pub mod suspects;
 pub mod temperature;
 
 pub use attrition::AttritionReport;
-pub use study::{run_deep_study, CaseData, StudyConfig, StudyData};
+pub use corpus::{CaseSummary, RecordCorpus, StudyCorpus};
+pub use study::{run_deep_study, run_deep_study_with, CaseData, StudyConfig, StudyData};

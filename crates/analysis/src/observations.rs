@@ -4,7 +4,6 @@
 //! study; the `repro` binary prints them next to the paper's values and
 //! the integration suite asserts the qualitative claims hold.
 
-use crate::bitflips;
 use crate::datatypes;
 use crate::study::StudyData;
 use sdc_model::{DataType, SdcType};
@@ -80,8 +79,18 @@ pub fn obs5_types(study: &StudyData) -> TypeSummary {
     let mut consistency = 0;
     let mut invariant = true;
     for case in &study.cases {
-        let has_comp = case.records.iter().any(|r| r.kind == SdcType::Computation);
-        let has_cons = case.records.iter().any(|r| r.kind == SdcType::Consistency);
+        // One pass per case (the two-`any` version re-scanned records).
+        let mut has_comp = false;
+        let mut has_cons = false;
+        for r in &case.records {
+            match r.kind {
+                SdcType::Computation => has_comp = true,
+                SdcType::Consistency => has_cons = true,
+            }
+            if has_comp && has_cons {
+                break;
+            }
+        }
         match (has_comp, has_cons) {
             (true, false) => computation += 1,
             (false, true) => consistency += 1,
@@ -109,16 +118,17 @@ pub struct FloatSummary {
     pub zero_to_one_share: f64,
 }
 
-/// Computes the Observation 6–7 summary.
+/// Computes the Observation 6–7 summary: one columnar corpus build,
+/// then column scans (the record vector is never re-collected).
 pub fn obs6_7_floats(study: &StudyData) -> FloatSummary {
-    let shares = datatypes::figure3(study);
+    let corpus = study.corpus();
+    let shares = datatypes::figure3_from(&corpus);
     let (float_share, other_share) = datatypes::float_vs_other_share(&shares);
-    let records: Vec<_> = study.all_records().collect();
     FloatSummary {
         float_share,
         other_share,
-        f64_fraction_share: bitflips::fraction_part_share(records.iter().copied(), DataType::F64),
-        zero_to_one_share: bitflips::zero_to_one_share(records.iter().copied()),
+        f64_fraction_share: corpus.records.fraction_part_share(DataType::F64),
+        zero_to_one_share: corpus.records.zero_to_one_share(),
     }
 }
 

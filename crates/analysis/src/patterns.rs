@@ -7,8 +7,8 @@
 //! the proportion of records matching some pattern; Figure 7 the number
 //! of flipped bits among pattern records per datatype.
 
+use crate::corpus::RecordCorpus;
 use sdc_model::{DataType, SdcRecord, SettingId};
-use std::collections::HashMap;
 
 /// The paper's pattern threshold (§4.3, Figure 6 / Observation 8): a
 /// mask is a pattern if ≥5% of the setting's records carry it.
@@ -28,42 +28,12 @@ pub struct SettingPatterns {
 }
 
 /// Groups computation records per setting and mines mask patterns.
-pub fn mine_patterns<'a>(records: impl IntoIterator<Item = &'a SdcRecord>) -> Vec<SettingPatterns> {
-    let mut by_setting: HashMap<SettingId, Vec<&SdcRecord>> = HashMap::new();
-    for r in records {
-        if r.is_computation() {
-            by_setting.entry(r.setting).or_default().push(r);
-        }
-    }
-    let mut out: Vec<SettingPatterns> = by_setting
-        .into_iter()
-        .map(|(setting, rs)| {
-            let n = rs.len();
-            let mut mask_counts: HashMap<u128, usize> = HashMap::new();
-            for r in &rs {
-                *mask_counts.entry(r.mask()).or_insert(0) += 1;
-            }
-            let threshold = (n as f64 * PATTERN_THRESHOLD).max(1.0);
-            let patterns: Vec<u128> = mask_counts
-                .iter()
-                .filter(|&(_, &c)| c as f64 >= threshold && n > 1)
-                .map(|(&m, _)| m)
-                .collect();
-            let matched: usize = mask_counts
-                .iter()
-                .filter(|(m, _)| patterns.contains(m))
-                .map(|(_, &c)| c)
-                .sum();
-            SettingPatterns {
-                setting,
-                n_records: n,
-                patterns,
-                pattern_share: matched as f64 / n.max(1) as f64,
-            }
-        })
-        .collect();
-    out.sort_by_key(|s| s.setting);
-    out
+///
+/// Thin adapter over [`RecordCorpus::mine_patterns`] for callers with a
+/// record slice in hand; study-scale callers build one corpus and run
+/// every pass on its columns instead of re-grouping here per call.
+pub fn mine_patterns(records: &[SdcRecord]) -> Vec<SettingPatterns> {
+    RecordCorpus::from_records(records).mine_patterns()
 }
 
 /// Figure 7: distribution of flipped-bit counts (1, 2, >2) among records
@@ -80,39 +50,11 @@ pub struct FlipMultiplicity {
     pub more: f64,
 }
 
-/// Computes Figure 7 for `dt`.
-pub fn flip_multiplicity<'a>(
-    records: impl IntoIterator<Item = &'a SdcRecord> + Clone,
-    dt: DataType,
-) -> FlipMultiplicity {
-    let settings = mine_patterns(records.clone());
-    let patterns: HashMap<SettingId, &Vec<u128>> =
-        settings.iter().map(|s| (s.setting, &s.patterns)).collect();
-    let mut counts = [0u64; 3];
-    for r in records {
-        if !r.is_computation() || r.datatype != dt {
-            continue;
-        }
-        let Some(ps) = patterns.get(&r.setting) else {
-            continue;
-        };
-        if !ps.contains(&r.mask()) {
-            continue;
-        }
-        match r.flipped_bits() {
-            0 => {}
-            1 => counts[0] += 1,
-            2 => counts[1] += 1,
-            _ => counts[2] += 1,
-        }
-    }
-    let total = (counts[0] + counts[1] + counts[2]).max(1) as f64;
-    FlipMultiplicity {
-        datatype: dt,
-        one: counts[0] as f64 / total,
-        two: counts[1] as f64 / total,
-        more: counts[2] as f64 / total,
-    }
+/// Computes Figure 7 for `dt` — adapter over
+/// [`RecordCorpus::flip_multiplicity`] (one corpus build, no record
+/// vector clone).
+pub fn flip_multiplicity(records: &[SdcRecord], dt: DataType) -> FlipMultiplicity {
+    RecordCorpus::from_records(records).flip_multiplicity(dt)
 }
 
 #[cfg(test)]

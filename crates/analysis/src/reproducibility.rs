@@ -20,16 +20,21 @@ pub struct ReproducibilitySummary {
     pub share_above_one_per_min: f64,
 }
 
-/// Aggregates the study's per-setting frequencies.
+/// Aggregates the study's per-setting frequencies: min, max and the
+/// above-one-per-minute count accumulate in the same pass that collects
+/// the frequency vector (the seed version re-scanned it three times).
 pub fn summarize(study: &StudyData) -> ReproducibilitySummary {
-    let frequencies: Vec<f64> = study
-        .cases
-        .iter()
-        .flat_map(|c| c.freq_per_setting.iter().map(|&(_, f)| f))
-        .collect();
-    let min = frequencies.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = frequencies.iter().copied().fold(0.0f64, f64::max);
-    let above = frequencies.iter().filter(|&&f| f > 1.0).count();
+    let n: usize = study.cases.iter().map(|c| c.freq_per_setting.len()).sum();
+    let mut frequencies = Vec::with_capacity(n);
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut above = 0usize;
+    for &(_, f) in study.cases.iter().flat_map(|c| &c.freq_per_setting) {
+        min = min.min(f);
+        max = max.max(f);
+        above += usize::from(f > 1.0);
+        frequencies.push(f);
+    }
     let share = above as f64 / frequencies.len().max(1) as f64;
     ReproducibilitySummary {
         min: if min.is_finite() { min } else { 0.0 },

@@ -193,9 +193,21 @@ pub fn run_case_cached(
 /// result-transparent, so the study is bitwise identical for every thread
 /// count.
 pub fn run_deep_study(cfg: &StudyConfig) -> StudyData {
+    run_deep_study_with(cfg, &SuiteProfileCache::new(), ProfileCache::shared())
+}
+
+/// [`run_deep_study`] with caller-owned profile caches. Profiling is the
+/// study's dominant fixed cost (the softcore interpreter runs every
+/// testcase per package shape); callers that run several studies —
+/// sweeps, eval loops, benchmarks — share one suite cache and one unit
+/// cache so that cost is paid once. Both caches are result-transparent,
+/// so the study is bitwise identical with or without reuse.
+pub fn run_deep_study_with(
+    cfg: &StudyConfig,
+    suite_cache: &SuiteProfileCache,
+    unit_cache: Arc<ProfileCache>,
+) -> StudyData {
     let suite = Suite::standard();
-    let suite_cache = SuiteProfileCache::new();
-    let unit_cache = ProfileCache::shared();
     let set = catalog::deep_study_set();
     let cases = fleet::parallel::run_indexed(&set, cfg.threads, |_, case| {
         let profiles =

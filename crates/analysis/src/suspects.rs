@@ -18,7 +18,7 @@ use crate::study::CaseData;
 use fleet::screening::StaticSuiteProfile;
 use sdc_model::DataType;
 use softcore::InstClass;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use toolchain::Suite;
 
 /// One ranked suspect.
@@ -51,8 +51,10 @@ pub fn rank_suspects(
         return Vec::new();
     }
     let failing: std::collections::HashSet<u32> = case.failing.iter().map(|t| t.0).collect();
-    let mut fail_usage: HashMap<(InstClass, DataType), f64> = HashMap::new();
-    let mut pass_usage: HashMap<(InstClass, DataType), f64> = HashMap::new();
+    // BTreeMaps keep (class, datatype) keys ordered, so equal-score
+    // suspects rank deterministically (the sort below is stable).
+    let mut fail_usage: BTreeMap<(InstClass, DataType), f64> = BTreeMap::new();
+    let mut pass_usage: BTreeMap<(InstClass, DataType), f64> = BTreeMap::new();
     let mut n_fail = 0usize;
     let mut n_pass = 0usize;
     for &id in &case.tested {

@@ -9,7 +9,8 @@
 use sdc_model::stats::{linear_fit, pearson, LinFit};
 use sdc_model::{DetRng, Duration, SettingId, TestcaseId};
 use silicon::Processor;
-use toolchain::{ExecConfig, Executor, Suite};
+use std::sync::Arc;
+use toolchain::{ExecConfig, Executor, ProfileCache, Suite};
 
 /// The cores a sweep runs on: the setting's core, plus enough neighbours
 /// to satisfy a multi-threaded (consistency) testcase.
@@ -71,12 +72,15 @@ pub fn temperature_sweep(
     let tc = suite.get(testcase);
     let cores = sweep_cores(processor, suite, testcase, core);
     let mut points = Vec::with_capacity(temps.len());
+    // The unit profile is temperature-independent (the cache key has no
+    // hold field), so every grid point shares one cached profile.
+    let cache = Arc::new(ProfileCache::with_capacity(4));
     for (i, &t) in temps.iter().enumerate() {
         let cfg = ExecConfig {
             hold_temp_c: Some(t),
             ..ExecConfig::default()
         };
-        let mut ex = Executor::new(processor, cfg);
+        let mut ex = Executor::with_cache(processor, cfg, Arc::clone(&cache));
         let mut rng = DetRng::new(seed).fork(i as u64);
         let run = ex.run(tc, &cores, window, &mut rng);
         points.push(SweepPoint {
@@ -130,12 +134,14 @@ pub fn min_trigger_temp(
 ) -> Option<TriggerPoint> {
     let tc = suite.get(testcase);
     let cores = sweep_cores(processor, suite, testcase, core);
+    // As in `temperature_sweep`: one profile serves the whole scan.
+    let cache = Arc::new(ProfileCache::with_capacity(4));
     for (i, &t) in grid.iter().enumerate() {
         let cfg = ExecConfig {
             hold_temp_c: Some(t),
             ..ExecConfig::default()
         };
-        let mut ex = Executor::new(processor, cfg);
+        let mut ex = Executor::with_cache(processor, cfg, Arc::clone(&cache));
         let mut rng = DetRng::new(seed).fork(i as u64);
         let run = ex.run(tc, &cores, window, &mut rng);
         if run.error_count > 0 {

@@ -3,7 +3,7 @@
 //! regenerated Figure 2 proportions once.
 
 use analysis::study::{run_case, StudyConfig, StudyData};
-use analysis::{bitflips, features, patterns, precision};
+use analysis::{features, precision};
 use criterion::{criterion_group, criterion_main, Criterion};
 use fleet::screening::StaticSuiteProfile;
 use sdc_model::{DataType, Duration};
@@ -52,20 +52,24 @@ fn bench_figure_analyses(c: &mut Criterion) {
         eprintln!("  {:<8} {:.3}", share.feature.label(), share.proportion);
     }
     let records: Vec<_> = study.all_records().cloned().collect();
-    eprintln!("[corpus] {} records", records.len());
+    let corpus = analysis::RecordCorpus::from_records(&records);
+    eprintln!("[corpus] {} records", corpus.len());
 
     let mut group = c.benchmark_group("figures");
+    group.bench_function("corpus_build", |b| {
+        b.iter(|| analysis::RecordCorpus::from_records(&records))
+    });
     group.bench_function("fig4_bit_histogram_f64", |b| {
-        b.iter(|| bitflips::bit_histogram(records.iter(), DataType::F64))
+        b.iter(|| corpus.bit_histogram(DataType::F64))
     });
     group.bench_function("fig4_loss_cdf_f32", |b| {
         b.iter(|| precision::loss_cdf(records.iter(), DataType::F32))
     });
     group.bench_function("fig6_pattern_mining", |b| {
-        b.iter(|| patterns::mine_patterns(records.iter()))
+        b.iter(|| corpus.mine_patterns())
     });
     group.bench_function("fig7_flip_multiplicity", |b| {
-        b.iter(|| patterns::flip_multiplicity(records.iter(), DataType::F32))
+        b.iter(|| corpus.flip_multiplicity(DataType::F32))
     });
     group.finish();
 }

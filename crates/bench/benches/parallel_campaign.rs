@@ -30,7 +30,9 @@ fn artifact(suite: &Suite) {
         seed: 2021,
         threads: 1,
     };
+    let t = Instant::now();
     let pop = FleetPopulation::sample(&cfg);
+    let sample_secs = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
     let serial = run_campaign_on(&cfg, suite, &pop);
@@ -49,17 +51,24 @@ fn artifact(suite: &Suite) {
     let stats = parallel.suite_cache;
     let speedup = serial_secs / parallel_secs;
     eprintln!(
-        "[parallel_campaign] {} defective CPUs: serial {serial_secs:.2}s, \
-         {threads}-thread {parallel_secs:.2}s ({speedup:.2}x), \
-         suite-profile cache hit rate {:.4}",
+        "[parallel_campaign] {} defective CPUs: sample {sample_secs:.2}s, \
+         serial screen {serial_secs:.2}s, {threads}-thread {parallel_secs:.2}s \
+         ({speedup:.2}x), suite-profile cache hit rate {:.4}",
         pop.defective.len(),
         stats.hit_rate()
     );
 
+    // The per-stage breakdown keeps single-core runs honest: when
+    // `available_cores` is 1 and the speedup is ≈1×, the stage timings
+    // still show where the serial wall-clock goes (population sampling
+    // vs the screening scan itself).
     let json = format!(
-        "{{\n  \"fleet_cpus\": {},\n  \"defective_cpus\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"threads\": {},\n  \"available_cores\": {},\n  \"speedup\": {:.4},\n  \"results_identical\": true,\n  \"suite_profile_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.6}\n  }}\n}}\n",
+        "{{\n  \"fleet_cpus\": {},\n  \"defective_cpus\": {},\n  \"serial_secs\": {:.4},\n  \"parallel_secs\": {:.4},\n  \"stage_sample_secs\": {:.4},\n  \"stage_screen_serial_secs\": {:.4},\n  \"stage_screen_parallel_secs\": {:.4},\n  \"threads\": {},\n  \"available_cores\": {},\n  \"speedup\": {:.4},\n  \"results_identical\": true,\n  \"suite_profile_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.6}\n  }}\n}}\n",
         pop.total(),
         pop.defective.len(),
+        serial_secs,
+        parallel_secs,
+        sample_secs,
         serial_secs,
         parallel_secs,
         threads,

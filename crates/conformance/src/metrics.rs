@@ -9,7 +9,7 @@
 
 use analysis::study::{run_deep_study, StudyConfig, StudyData};
 use analysis::{
-    bitflips, datatypes, features, observations, patterns, precision, reproducibility, temperature,
+    bitflips, datatypes, features, observations, precision, reproducibility, temperature,
 };
 use farron::eval::{evaluate, EvalConfig, EvalRow};
 use fleet::{run_campaign, CampaignOutcome, FleetConfig};
@@ -117,7 +117,10 @@ pub fn study_metrics(study: &StudyData, suite: &Suite) -> Vec<Metric> {
             share.proportion,
         ));
     }
-    let shares = datatypes::figure3(study);
+    // One columnar corpus serves every record-derived statistic below —
+    // the record vector is collected once, not once per figure.
+    let corpus = study.corpus();
+    let shares = datatypes::figure3_from(&corpus);
     for s in &shares {
         v.push(metric(
             format!("fig3.{}", slug(s.datatype.label())),
@@ -128,28 +131,27 @@ pub fn study_metrics(study: &StudyData, suite: &Suite) -> Vec<Metric> {
     v.push(metric("fig3.float_mean_share", float_share));
     v.push(metric("fig3.other_mean_share", other_share));
 
-    let records: Vec<_> = study.all_records().collect();
     v.push(metric(
         "bitflips.zero_to_one_share",
-        bitflips::zero_to_one_share(records.iter().copied()),
+        corpus.records.zero_to_one_share(),
     ));
     v.push(metric(
         "bitflips.f64_fraction_share",
-        bitflips::fraction_part_share(records.iter().copied(), DataType::F64),
+        corpus.records.fraction_part_share(DataType::F64),
     ));
-    let hist = bitflips::bit_histogram(records.iter().copied(), DataType::F64);
+    let hist = corpus.records.bit_histogram(DataType::F64);
     v.push(metric("bitflips.f64_msb4_share", bitflips::msb_share(&hist, 4)));
 
-    let settings = patterns::mine_patterns(records.iter().copied());
+    let settings = corpus.records.mine_patterns();
     let big: Vec<_> = settings.iter().filter(|s| s.n_records >= 20).collect();
     let mean_share = big.iter().map(|s| s.pattern_share).sum::<f64>() / big.len().max(1) as f64;
     v.push(metric("patterns.mean_share_20plus", mean_share));
-    let mult = patterns::flip_multiplicity(records.iter().copied(), DataType::F64);
+    let mult = corpus.records.flip_multiplicity_with(&settings, DataType::F64);
     v.push(metric("patterns.f64_single_flip_share", mult.one));
 
     v.push(metric(
         "precision.f64_below_0p02pct",
-        precision::loss_cdf(records.iter().copied(), DataType::F64).fraction_below(2e-4),
+        precision::loss_cdf(study.all_records(), DataType::F64).fraction_below(2e-4),
     ));
 
     v.push(metric(

@@ -113,6 +113,31 @@ impl DetRng {
             return draw.round().max(0.0) as u64;
         }
         let l = (-lambda).exp();
+        self.poisson_knuth(l)
+    }
+
+    /// [`Self::poisson`] with the caller supplying a precomputed
+    /// `exp(-lambda)` for the small-mean branch.
+    ///
+    /// The executor's steady-state fast path draws the same `lambda`
+    /// for hundreds of consecutive chunks; memoizing `exp(-lambda)`
+    /// removes the transcendental from the per-chunk cost. Draws are
+    /// bit-identical to `poisson(lambda)` whenever `exp_neg_lambda ==
+    /// (-lambda).exp()`: the zero and large-mean branches ignore the
+    /// hint, and the Knuth loop consumes the identical uniform stream.
+    pub fn poisson_with_exp(&mut self, lambda: f64, exp_neg_lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 64.0 {
+            let draw = lambda + lambda.sqrt() * self.normal();
+            return draw.round().max(0.0) as u64;
+        }
+        self.poisson_knuth(exp_neg_lambda)
+    }
+
+    /// Knuth's multiplication loop given `l = exp(-lambda)`.
+    fn poisson_knuth(&mut self, l: f64) -> u64 {
         let mut k = 0u64;
         let mut p = 1.0;
         loop {
@@ -315,6 +340,29 @@ mod tests {
         }
         assert_eq!(r.poisson(0.0), 0);
         assert_eq!(r.poisson(-3.0), 0);
+    }
+
+    /// `poisson_with_exp` must return the same value AND leave the
+    /// stream in the same state as `poisson` for every branch (zero,
+    /// Knuth, normal approximation) — the executor fast path depends
+    /// on this for bit-identity with the reference chunk loop.
+    #[test]
+    fn poisson_with_exp_is_draw_equivalent() {
+        for seed in [1u64, 29, 0xfeed] {
+            for lambda in [-1.0f64, 0.0, 1e-9, 0.01, 0.7, 5.0, 63.9, 64.0, 64.1, 500.0] {
+                let mut a = DetRng::new(seed);
+                let mut b = DetRng::new(seed);
+                for _ in 0..64 {
+                    assert_eq!(
+                        a.poisson(lambda),
+                        b.poisson_with_exp(lambda, (-lambda).exp()),
+                        "lambda {lambda} seed {seed}"
+                    );
+                }
+                // Streams advanced identically.
+                assert_eq!(a.next_u64(), b.next_u64(), "lambda {lambda} seed {seed}");
+            }
+        }
     }
 
     #[test]

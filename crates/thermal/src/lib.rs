@@ -156,10 +156,38 @@ impl ThermalModel {
         (self.cfg.idle_temp_c + self.cooling_factor * (own + others)).min(self.cfg.max_temp_c)
     }
 
+    /// The relaxation fraction for one step of `dt`: a temperature moves
+    /// `alpha` of the way toward its target per [`Self::advance`] call.
+    ///
+    /// Exposed so callers integrating trajectories outside the model
+    /// (the executor's thermal trajectory cache) use the *same* `alpha`
+    /// arithmetic and stay bit-identical with `advance`.
+    pub fn step_alpha(&self, dt: Duration) -> f64 {
+        1.0 - (-dt.as_secs_f64() / self.cfg.tau_secs).exp()
+    }
+
+    /// All per-core temperatures, indexed by core.
+    pub fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Overwrites every core temperature — the write-back half of an
+    /// externally integrated trajectory (see [`Self::step_alpha`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps.len()` differs from the core count or any value
+    /// is non-finite.
+    pub fn set_temps(&mut self, temps: &[f64]) {
+        assert_eq!(temps.len(), self.temps.len(), "core count mismatch");
+        assert!(temps.iter().all(|t| t.is_finite()), "non-finite temp");
+        self.temps.copy_from_slice(temps);
+    }
+
     /// Advances the model by `dt`: each core relaxes exponentially toward
     /// its target with time constant `tau_secs`.
     pub fn advance(&mut self, dt: Duration) {
-        let alpha = 1.0 - (-dt.as_secs_f64() / self.cfg.tau_secs).exp();
+        let alpha = self.step_alpha(dt);
         for core in 0..self.temps.len() {
             let target = self.target_temp(core);
             self.temps[core] += (target - self.temps[core]) * alpha;
@@ -334,6 +362,40 @@ mod tests {
     fn rejects_bad_cooling_factor() {
         let mut m = model(1);
         m.set_cooling_factor(0.0);
+    }
+
+    #[test]
+    fn external_integration_matches_advance_bitwise() {
+        // Integrating with step_alpha/target_temp outside the model and
+        // writing back with set_temps must reproduce advance exactly —
+        // the contract the executor's trajectory cache relies on.
+        let mut a = model(3);
+        let mut b = model(3);
+        for m in [&mut a, &mut b] {
+            m.set_power(0, 1.3);
+            m.set_power(2, 0.4);
+        }
+        let dt = Duration::from_secs(1);
+        let alpha = b.step_alpha(dt);
+        let targets: Vec<f64> = (0..3).map(|c| b.target_temp(c)).collect();
+        let mut temps = b.temps().to_vec();
+        for _ in 0..50 {
+            a.advance(dt);
+            for (t, &target) in temps.iter_mut().zip(&targets) {
+                *t += (target - *t) * alpha;
+            }
+        }
+        b.set_temps(&temps);
+        for c in 0..3 {
+            assert_eq!(a.temp(c).to_bits(), b.temp(c).to_bits(), "core {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn set_temps_rejects_wrong_length() {
+        let mut m = model(2);
+        m.set_temps(&[50.0]);
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct ExecConfig {
     pub stress_idle_cores: bool,
     /// Step budget for VM runs (guards against spin-heavy interleavings).
     pub max_unit_steps: u64,
+    /// Run accelerated mode through the seed chunk loop
+    /// ([`Executor::try_run_reference`]) instead of the event-skipping
+    /// fast path. Results are bitwise identical either way (proven by
+    /// `tests/executor_equivalence.rs`); the reference path exists for
+    /// differential testing and the campaign bench baseline. Not part of
+    /// the profile cache key — both paths see identical unit profiles.
+    pub reference_executor: bool,
 }
 
 impl Default for ExecConfig {
@@ -65,6 +72,7 @@ impl Default for ExecConfig {
             hold_temp_c: None,
             stress_idle_cores: false,
             max_unit_steps: 40_000_000,
+            reference_executor: false,
         }
     }
 }
@@ -130,6 +138,174 @@ struct CompSites {
     total_rate: f64,
 }
 
+/// Event source of one retained (defect, tested core) pair in the fast
+/// path: the per-second base rate the trigger rate multiplies into a
+/// chunk's Poisson mean.
+enum PairEvents {
+    /// Computation defect with its precomputed corruptible sites.
+    Comp(CompSites),
+    /// Coherence drop at this core's invalidation rate.
+    Coherence(f64),
+    /// Transaction-isolation violation at this core's conflict rate.
+    Tx(f64),
+}
+
+impl PairEvents {
+    /// Events per second before the trigger rate is applied.
+    fn base_per_sec(&self) -> f64 {
+        match self {
+            PairEvents::Comp(sites) => sites.total_rate,
+            PairEvents::Coherence(per) | PairEvents::Tx(per) => *per,
+        }
+    }
+}
+
+/// One (defect, tested core) pair the fast path keeps, in the seed
+/// loop's draw order (defect-major, tested-core-minor). Pairs whose
+/// rate is provably zero at every temperature — zero core scale, zero
+/// trigger base rate, or zero event base rate — are pruned at build
+/// time: the reference loop `continue`s (Poisson with a non-positive
+/// mean draws nothing), so skipping them consumes no randomness.
+struct ActivePair<'d> {
+    defect: &'d Defect,
+    /// Index into `cores` / `errors_per_core`.
+    idx: usize,
+    pcore: u16,
+    events: PairEvents,
+}
+
+/// Per-pair memo once the thermal trajectory reaches its fixed point:
+/// temperatures stop changing, so the chunk's Poisson mean (and its
+/// `exp(-lambda)`) are constants.
+struct SteadyPair {
+    /// Index into the run's `ActivePair` list.
+    active_i: usize,
+    temp: f64,
+    lambda: f64,
+    exp_neg_lambda: f64,
+}
+
+/// Steady-state snapshot of a run's chunk loop: reached when the
+/// integrated temperatures stop changing bitwise (or immediately under
+/// `hold_temp_c`).
+struct SteadyState {
+    hottest: f64,
+    pairs: Vec<SteadyPair>,
+}
+
+/// Key of one cached thermal trajectory: the relaxation step plus the
+/// exact start temperatures and per-core targets (bit patterns — the
+/// integration below is bitwise deterministic in these).
+#[derive(PartialEq, Eq, Hash)]
+struct TrajKey {
+    alpha: u64,
+    temps: Vec<u64>,
+    targets: Vec<u64>,
+}
+
+impl TrajKey {
+    fn of(alpha: f64, temps: &[f64], targets: &[f64]) -> Self {
+        TrajKey {
+            alpha: alpha.to_bits(),
+            temps: temps.iter().map(|t| t.to_bits()).collect(),
+            targets: targets.iter().map(|t| t.to_bits()).collect(),
+        }
+    }
+}
+
+/// One integrated thermal curve: temperatures after each full chunk,
+/// stored until the sequence reaches a bitwise fixed point.
+///
+/// Exponential relaxation `t += (target - t) * alpha` with `alpha <
+/// 0.5` moves each core monotonically toward its target without
+/// overshoot, so in f64 the per-core sequence is monotone over a finite
+/// value set and must land on an exact fixed point — after which every
+/// further chunk is a no-op and `converged` is set.
+#[derive(Clone, Default)]
+struct Trajectory {
+    steps: Vec<Vec<f64>>,
+    converged: bool,
+}
+
+/// Transient prefix cap per cached trajectory (the default 1 s chunk /
+/// 15 s tau converges in well under 1k steps; pathological tiny-alpha
+/// configs fall back to live stepping past the cap).
+const MAX_TRAJ_STEPS: usize = 4096;
+/// Cached trajectories per executor (keys differ by start temperature,
+/// so sequential runs with remaining heat each get an entry).
+const MAX_TRAJ_ENTRIES: usize = 32;
+
+/// Extends `traj` with integration steps until it covers `need` chunks,
+/// hits the storage cap, or converges.
+fn extend_trajectory(traj: &mut Trajectory, start: &[f64], targets: &[f64], alpha: f64, need: usize) {
+    while !traj.converged && traj.steps.len() < need.min(MAX_TRAJ_STEPS) {
+        let cur: &[f64] = traj.steps.last().map(|v| v.as_slice()).unwrap_or(start);
+        let next: Vec<f64> = cur
+            .iter()
+            .zip(targets)
+            .map(|(&t, &target)| t + (target - t) * alpha)
+            .collect();
+        if next.iter().zip(cur).all(|(a, b)| a.to_bits() == b.to_bits()) {
+            traj.converged = true;
+        } else {
+            traj.steps.push(next);
+        }
+    }
+}
+
+/// Advances `temps` by one chunk in place with the exact
+/// [`thermal::ThermalModel::advance`] arithmetic; returns `true` when
+/// nothing changed bitwise (the trajectory's fixed point).
+fn step_temps(temps: &mut [f64], targets: &[f64], alpha: f64) -> bool {
+    let mut unchanged = true;
+    for (t, &target) in temps.iter_mut().zip(targets) {
+        let next = *t + (target - *t) * alpha;
+        if next.to_bits() != t.to_bits() {
+            unchanged = false;
+        }
+        *t = next;
+    }
+    unchanged
+}
+
+/// Materializes up to `max_records − records.len()` computation records
+/// for `k` events of one pair — the same draws, in the same order, as
+/// the seed loop's materialization block.
+#[allow(clippy::too_many_arguments)]
+fn materialize_computation(
+    sites: &CompSites,
+    defect: &Defect,
+    sampler_samples: &Profiler,
+    setting: SettingId,
+    temp: f64,
+    at: Duration,
+    k: u64,
+    max_records: usize,
+    records: &mut Vec<SdcRecord>,
+    rng: &mut DetRng,
+) {
+    let materialize = (k as usize).min(max_records.saturating_sub(records.len()));
+    for _ in 0..materialize {
+        let (class, dt_) = sites.keys[rng.weighted(&sites.weights)];
+        let samples = sampler_samples.samples(class, dt_);
+        let expected = if samples.is_empty() {
+            0
+        } else {
+            samples[rng.below(samples.len() as u64) as usize]
+        };
+        let mask = defect.choose_mask(dt_, rng);
+        records.push(SdcRecord {
+            setting,
+            kind: SdcType::Computation,
+            datatype: dt_,
+            expected,
+            actual: expected ^ mask,
+            temp_c: temp,
+            at,
+        });
+    }
+}
+
 /// Operational-fault hook for profile reads: `(key, read attempt)` →
 /// "this read fails". Must be a pure function of its arguments for
 /// deterministic campaigns.
@@ -154,6 +330,11 @@ pub struct Executor<'p> {
     /// Profile reads attempted so far (feeds the fault hook's attempt
     /// counter and the supervisor's per-item accounting).
     profile_reads: u32,
+    /// Thermal trajectory cache: `(alpha, start temps, targets)` →
+    /// integrated curve. Hits when runs repeat a power configuration
+    /// from the same starting temperatures (burn-in preheat makes this
+    /// the common case in Farron evals).
+    trajectories: std::collections::HashMap<TrajKey, Arc<Trajectory>>,
 }
 
 impl std::fmt::Debug for Executor<'_> {
@@ -178,6 +359,7 @@ impl<'p> Executor<'p> {
             cache: None,
             profile_fault: None,
             profile_reads: 0,
+            trajectories: std::collections::HashMap::new(),
         }
     }
 
@@ -287,7 +469,423 @@ impl<'p> Executor<'p> {
     /// Fallible accelerated run: validates the core selection and the
     /// profile read instead of panicking, so a supervisor can retry
     /// transient failures.
+    ///
+    /// This is the event-skipping fast path. It is bitwise identical to
+    /// [`Executor::try_run_reference`] — same [`TestcaseRun`], same RNG
+    /// stream consumption, same final thermal/clock state — via three
+    /// draw-equivalent shortcuts:
+    ///
+    /// * **zero-rate pruning** — (defect, core) pairs whose rate is zero
+    ///   at every temperature (zero core scale, zero trigger base rate,
+    ///   zero event base rate) never reach a Poisson draw in the seed
+    ///   loop (`continue`, or a non-positive mean that returns before
+    ///   consuming randomness), so they are dropped up front;
+    /// * **thermal trajectory cache** — the chunk loop's temperature
+    ///   curve is a pure function of (step alpha, start temps, targets);
+    ///   it is integrated once outside [`ThermalModel`] with the exact
+    ///   `advance` arithmetic ([`ThermalModel::step_alpha`]), cached,
+    ///   and replayed until it reaches its bitwise fixed point;
+    /// * **steady-state memoization** — past the fixed point every
+    ///   chunk's Poisson mean is a constant, so the trigger's `powf`
+    ///   and `exp(-lambda)` are hoisted and draws go through
+    ///   [`DetRng::poisson_with_exp`], which consumes the identical
+    ///   uniform stream.
     pub fn try_run(
+        &mut self,
+        tc: &Testcase,
+        cores: &[u16],
+        duration: Duration,
+        rng: &mut DetRng,
+    ) -> Result<TestcaseRun, ExecError> {
+        // A zero chunk never advances `elapsed`; leave that degenerate
+        // config to the reference loop rather than divide by zero here.
+        if self.cfg.reference_executor || self.cfg.chunk == Duration::ZERO {
+            return self.try_run_reference(tc, cores, duration, rng);
+        }
+        self.check_cores(tc, cores)?;
+        let unit = self.try_profile_unit(tc, cores)?;
+        let profiles = &unit.profiles;
+        let sampler_samples = &unit.profiler;
+        let processor = self.processor;
+
+        if let Some(t) = self.cfg.preheat_c {
+            self.thermal.preheat(t);
+        }
+        // Tested-core lookup built once — replaces the seed loop's
+        // per-core `position` scan and `tested` HashSet (first index
+        // wins, matching `position` if a core is listed twice).
+        let phys = processor.physical_cores as usize;
+        let mut core_index: Vec<Option<usize>> = vec![None; phys];
+        for (idx, &c) in cores.iter().enumerate() {
+            let slot = &mut core_index[c as usize];
+            if slot.is_none() {
+                *slot = Some(idx);
+            }
+        }
+        for (pc, slot) in core_index.iter().enumerate() {
+            let power = match slot {
+                Some(idx) => profiles[*idx].power,
+                None if self.cfg.stress_idle_cores => 1.2,
+                None => 0.0,
+            };
+            self.thermal.set_power(pc, power);
+        }
+
+        // Retained (defect, tested core) pairs in the seed loop's draw
+        // order (defect-major, core-minor); see `ActivePair` for the
+        // pruning argument.
+        let mut active: Vec<ActivePair<'_>> = Vec::new();
+        for defect in processor.defects.iter().filter(|d| d.applies_to(tc.id)) {
+            if defect.trigger.base_rate <= 0.0 {
+                continue;
+            }
+            for (idx, &pcore) in cores.iter().enumerate() {
+                if defect.scope.core_scale(pcore) <= 0.0 {
+                    continue;
+                }
+                let events = match &defect.kind {
+                    DefectKind::Computation { .. } => {
+                        let matching: Vec<((InstClass, DataType), f64)> = profiles[idx]
+                            .site_rates
+                            .iter()
+                            .filter(|((class, dt_), _)| defect.matches(*class, *dt_))
+                            .copied()
+                            .collect();
+                        let sites = CompSites {
+                            keys: matching.iter().map(|&(k, _)| k).collect(),
+                            weights: matching.iter().map(|&(_, v)| v).collect(),
+                            total_rate: matching.iter().map(|&(_, v)| v).sum(),
+                        };
+                        if sites.total_rate <= 0.0 {
+                            continue;
+                        }
+                        PairEvents::Comp(sites)
+                    }
+                    DefectKind::CoherenceDrop => {
+                        let per = profiles[idx].invalidations_per_sec;
+                        if per <= 0.0 {
+                            continue;
+                        }
+                        PairEvents::Coherence(per)
+                    }
+                    DefectKind::TxIsolation => {
+                        let per = profiles[idx].tx_conflicts_per_sec;
+                        if per <= 0.0 {
+                            continue;
+                        }
+                        PairEvents::Tx(per)
+                    }
+                };
+                active.push(ActivePair {
+                    defect,
+                    idx,
+                    pcore,
+                    events,
+                });
+            }
+        }
+
+        let start = self.clock.now();
+        let mut elapsed = Duration::ZERO;
+        let mut records = Vec::new();
+        let mut error_count = 0u64;
+        let mut errors_per_core = vec![0u64; cores.len()];
+        let mut temp_sum = 0.0;
+        let mut temp_chunks = 0u64;
+        let mut max_temp = f64::NEG_INFINITY;
+
+        let chunk = self.cfg.chunk;
+        let chunk_secs = chunk.as_secs_f64();
+        let full_chunks = (duration.as_micros() / chunk.as_micros()) as usize;
+        let partial = Duration::from_micros(duration.as_micros() % chunk.as_micros());
+        let any_chunk = full_chunks > 0 || partial > Duration::ZERO;
+
+        // Rates, means and exp(-mean) memoized at a temperature fixed
+        // point. Pairs whose rate is zero *at these temperatures* (e.g.
+        // below the trigger's t_min floor) are dropped drawlessly, the
+        // same way the reference loop `continue`s on them every chunk.
+        let make_steady = |temps: &[f64]| -> SteadyState {
+            let hottest = cores
+                .iter()
+                .map(|&c| temps[c as usize])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let mut pairs = Vec::new();
+            for (active_i, pair) in active.iter().enumerate() {
+                let temp = temps[pair.pcore as usize];
+                let rate = pair.defect.rate(pair.pcore, temp);
+                if rate <= 0.0 {
+                    continue;
+                }
+                let lambda = pair.events.base_per_sec() * rate * chunk_secs;
+                if lambda <= 0.0 {
+                    continue;
+                }
+                let exp_neg_lambda = if lambda <= 64.0 { (-lambda).exp() } else { 0.0 };
+                pairs.push(SteadyPair {
+                    active_i,
+                    temp,
+                    lambda,
+                    exp_neg_lambda,
+                });
+            }
+            SteadyState { hottest, pairs }
+        };
+
+        let hold = self.cfg.hold_temp_c;
+        let alpha = self.thermal.step_alpha(chunk);
+        let mut targets: Vec<f64> = Vec::new();
+        let mut traj: Option<Arc<Trajectory>> = None;
+        let mut steady: Option<SteadyState> = None;
+        let mut temps: Vec<f64>;
+        if let Some(h) = hold {
+            // Held temperatures are constant from the first chunk on:
+            // the run is steady-state throughout.
+            if any_chunk {
+                self.thermal.preheat(h);
+            }
+            temps = self.thermal.temps().to_vec();
+            if any_chunk {
+                let st = make_steady(&temps);
+                max_temp = max_temp.max(st.hottest);
+                steady = Some(st);
+            }
+        } else {
+            // Targets are fixed while powers are fixed; hoist the
+            // O(cores²) target computation out of the chunk loop.
+            targets = (0..phys).map(|c| self.thermal.target_temp(c)).collect();
+            temps = self.thermal.temps().to_vec();
+            if full_chunks > 0 {
+                let key = TrajKey::of(alpha, &temps, &targets);
+                traj = Some(match self.trajectories.get_mut(&key) {
+                    Some(entry) => {
+                        extend_trajectory(
+                            Arc::make_mut(entry),
+                            &temps,
+                            &targets,
+                            alpha,
+                            full_chunks,
+                        );
+                        Arc::clone(entry)
+                    }
+                    None => {
+                        let mut fresh = Trajectory::default();
+                        extend_trajectory(&mut fresh, &temps, &targets, alpha, full_chunks);
+                        let fresh = Arc::new(fresh);
+                        if self.trajectories.len() < MAX_TRAJ_ENTRIES {
+                            self.trajectories.insert(key, Arc::clone(&fresh));
+                        }
+                        fresh
+                    }
+                });
+            }
+        }
+
+        for chunk_i in 0..full_chunks {
+            if steady.is_none() {
+                let traj = traj.as_ref().expect("dynamic full chunks have a trajectory");
+                let mut now_steady = false;
+                if chunk_i < traj.steps.len() {
+                    temps.copy_from_slice(&traj.steps[chunk_i]);
+                } else if traj.converged {
+                    now_steady = true;
+                } else {
+                    // Past the trajectory storage cap: integrate live
+                    // (same arithmetic) and watch for the fixed point.
+                    now_steady = step_temps(&mut temps, &targets, alpha);
+                }
+                if now_steady {
+                    let st = make_steady(&temps);
+                    max_temp = max_temp.max(st.hottest);
+                    steady = Some(st);
+                }
+            }
+            if let Some(st) = &steady {
+                temp_sum += st.hottest;
+                temp_chunks += 1;
+                for sp in &st.pairs {
+                    let k = rng.poisson_with_exp(sp.lambda, sp.exp_neg_lambda);
+                    if k > 0 {
+                        error_count += k;
+                        let pair = &active[sp.active_i];
+                        errors_per_core[pair.idx] += k;
+                        match &pair.events {
+                            PairEvents::Comp(sites) => materialize_computation(
+                                sites,
+                                pair.defect,
+                                sampler_samples,
+                                SettingId {
+                                    cpu: processor.id,
+                                    core: CoreId(pair.pcore),
+                                    testcase: tc.id,
+                                },
+                                sp.temp,
+                                start + elapsed,
+                                k,
+                                self.cfg.max_records,
+                                &mut records,
+                                rng,
+                            ),
+                            PairEvents::Coherence(_) | PairEvents::Tx(_) => {
+                                self.push_consistency(
+                                    &mut records,
+                                    k,
+                                    pair.pcore,
+                                    tc,
+                                    sp.temp,
+                                    start + elapsed,
+                                );
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Transient chunk: the seed loop's per-chunk arithmetic
+                // on the locally integrated temperatures.
+                let hottest = cores
+                    .iter()
+                    .map(|&c| temps[c as usize])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                temp_sum += hottest;
+                temp_chunks += 1;
+                max_temp = max_temp.max(hottest);
+                for pair in &active {
+                    let temp = temps[pair.pcore as usize];
+                    let rate = pair.defect.rate(pair.pcore, temp);
+                    if rate <= 0.0 {
+                        continue;
+                    }
+                    let lambda = pair.events.base_per_sec() * rate * chunk_secs;
+                    let k = rng.poisson(lambda);
+                    error_count += k;
+                    errors_per_core[pair.idx] += k;
+                    if k > 0 {
+                        match &pair.events {
+                            PairEvents::Comp(sites) => materialize_computation(
+                                sites,
+                                pair.defect,
+                                sampler_samples,
+                                SettingId {
+                                    cpu: processor.id,
+                                    core: CoreId(pair.pcore),
+                                    testcase: tc.id,
+                                },
+                                temp,
+                                start + elapsed,
+                                k,
+                                self.cfg.max_records,
+                                &mut records,
+                                rng,
+                            ),
+                            PairEvents::Coherence(_) | PairEvents::Tx(_) => {
+                                self.push_consistency(
+                                    &mut records,
+                                    k,
+                                    pair.pcore,
+                                    tc,
+                                    temp,
+                                    start + elapsed,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            elapsed += chunk;
+        }
+
+        // Final partial chunk (if the duration is not a whole number of
+        // chunks): a different dt means a different alpha and Poisson
+        // mean, so it is stepped and drawn exactly like the reference.
+        if partial > Duration::ZERO {
+            let dt_secs = partial.as_secs_f64();
+            if hold.is_none() {
+                step_temps(&mut temps, &targets, self.thermal.step_alpha(partial));
+            }
+            let hottest = cores
+                .iter()
+                .map(|&c| temps[c as usize])
+                .fold(f64::NEG_INFINITY, f64::max);
+            temp_sum += hottest;
+            temp_chunks += 1;
+            max_temp = max_temp.max(hottest);
+            for pair in &active {
+                let temp = temps[pair.pcore as usize];
+                let rate = pair.defect.rate(pair.pcore, temp);
+                if rate <= 0.0 {
+                    continue;
+                }
+                let lambda = pair.events.base_per_sec() * rate * dt_secs;
+                let k = rng.poisson(lambda);
+                error_count += k;
+                errors_per_core[pair.idx] += k;
+                if k > 0 {
+                    match &pair.events {
+                        PairEvents::Comp(sites) => materialize_computation(
+                            sites,
+                            pair.defect,
+                            sampler_samples,
+                            SettingId {
+                                cpu: processor.id,
+                                core: CoreId(pair.pcore),
+                                testcase: tc.id,
+                            },
+                            temp,
+                            start + elapsed,
+                            k,
+                            self.cfg.max_records,
+                            &mut records,
+                            rng,
+                        ),
+                        PairEvents::Coherence(_) | PairEvents::Tx(_) => {
+                            self.push_consistency(
+                                &mut records,
+                                k,
+                                pair.pcore,
+                                tc,
+                                temp,
+                                start + elapsed,
+                            );
+                        }
+                    }
+                }
+            }
+            elapsed += partial;
+        }
+        debug_assert_eq!(elapsed, duration);
+
+        // Write the integrated temperatures back so remaining heat
+        // persists across runs exactly as the reference leaves it.
+        if any_chunk && hold.is_none() {
+            self.thermal.set_temps(&temps);
+        }
+        // Workload ends: power returns to idle, remaining heat persists.
+        for (pc, slot) in core_index.iter().enumerate() {
+            if slot.is_some() || self.cfg.stress_idle_cores {
+                self.thermal.set_power(pc, 0.0);
+            }
+        }
+        self.clock.advance(duration);
+        Ok(TestcaseRun {
+            testcase: tc.id,
+            cores: cores.to_vec(),
+            duration,
+            records,
+            error_count,
+            errors_per_core,
+            mean_temp_c: if temp_chunks > 0 {
+                temp_sum / temp_chunks as f64
+            } else {
+                0.0
+            },
+            max_temp_c: if max_temp.is_finite() { max_temp } else { 0.0 },
+        })
+    }
+
+    /// The seed chunk loop, kept verbatim for differential testing: the
+    /// oracle `tests/executor_equivalence.rs` (and the campaign bench
+    /// baseline via [`ExecConfig::reference_executor`]) compare
+    /// [`Executor::try_run`] against this path bit for bit.
+    pub fn try_run_reference(
         &mut self,
         tc: &Testcase,
         cores: &[u16],

@@ -36,6 +36,9 @@ rm -f "$ck"
 echo "== tier-1: softcore fast-path regression gate (bench --quick) =="
 cargo bench -q -p bench --bench softcore_hotpath -- --quick
 
+echo "== tier-1: campaign executor regression gate (bench --quick) =="
+cargo bench -q -p bench --bench campaign_hotpath -- --quick
+
 echo "== tier-1: clippy (chaos-touched crates) =="
 cargo clippy -q -p toolchain -p fleet -p farron -p analysis -p sdc-repro -- -D warnings -D clippy::perf
 

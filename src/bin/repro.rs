@@ -20,8 +20,8 @@
 
 use analysis::study::{run_deep_study, StudyConfig, StudyData};
 use analysis::{
-    bitflips, casebook, datatypes, features, observations, patterns, precision, reproducibility,
-    temperature, AttritionReport,
+    bitflips, casebook, datatypes, features, observations, precision, reproducibility, temperature,
+    AttritionReport,
 };
 use farron::eval::{evaluate, evaluate_chaos, EvalConfig};
 use fleet::{
@@ -322,10 +322,10 @@ fn fig3(lazy: &mut Lazy) {
 
 fn fig4_and_5(lazy: &mut Lazy) {
     let study = lazy.study();
-    let records: Vec<_> = study.all_records().collect();
+    let corpus = analysis::RecordCorpus::collect(study.all_records());
     hr("Figure 4(a–d) — bitflip positions (share per bit, 0→1 / 1→0)");
     for dt in [DataType::I32, DataType::F32, DataType::F64, DataType::F64X] {
-        let hist = bitflips::bit_histogram(records.iter().copied(), dt);
+        let hist = corpus.bit_histogram(dt);
         let top: Vec<String> = hist
             .iter()
             .filter(|b| b.zero_to_one + b.one_to_zero > 0.01)
@@ -344,7 +344,7 @@ fn fig4_and_5(lazy: &mut Lazy) {
     }
     println!(
         "0→1 flip share overall: {:.4} (paper: 0.5108)",
-        bitflips::zero_to_one_share(records.iter().copied())
+        corpus.zero_to_one_share()
     );
     hr("Figure 4(e–h) — relative precision-loss CDF checkpoints");
     println!(
@@ -352,7 +352,7 @@ fn fig4_and_5(lazy: &mut Lazy) {
         "dtype", "P[<0.002%]", "P[<0.02%]", "P[<5%]"
     );
     for dt in [DataType::I32, DataType::F32, DataType::F64, DataType::F64X] {
-        let cdf = precision::loss_cdf(records.iter().copied(), dt);
+        let cdf = precision::loss_cdf(study.all_records(), dt);
         if cdf.log10_cdf.is_empty() {
             println!("{:<6} (no records)", dt.label());
             continue;
@@ -367,7 +367,7 @@ fn fig4_and_5(lazy: &mut Lazy) {
     }
     hr("Figure 5 — non-numerical bitflip positions (≈ uniform)");
     for dt in [DataType::Bin32, DataType::Bin64] {
-        let hist = bitflips::bit_histogram(records.iter().copied(), dt);
+        let hist = corpus.bit_histogram(dt);
         let upper: f64 = hist
             .iter()
             .filter(|b| b.index >= dt.bits() / 2)
@@ -383,9 +383,10 @@ fn fig4_and_5(lazy: &mut Lazy) {
 
 fn fig6_and_7(lazy: &mut Lazy) {
     let study = lazy.study();
-    let records: Vec<_> = study.all_records().collect();
+    let corpus = analysis::RecordCorpus::collect(study.all_records());
     hr("Figure 6 — share of SDCs matching a bitflip pattern, per setting");
-    let mut mined = patterns::mine_patterns(records.iter().copied());
+    let all_mined = corpus.mine_patterns();
+    let mut mined = all_mined.clone();
     mined.retain(|s| s.n_records >= 20);
     mined.sort_by_key(|s| std::cmp::Reverse(s.n_records));
     for s in mined.iter().take(17) {
@@ -406,7 +407,7 @@ fn fig6_and_7(lazy: &mut Lazy) {
         DataType::I32,
         DataType::Byte,
     ] {
-        let m = patterns::flip_multiplicity(records.iter().copied(), dt);
+        let m = corpus.flip_multiplicity_with(&all_mined, dt);
         println!(
             "{:<6} {:>6.2} {:>6.2} {:>6.2}",
             dt.label(),

@@ -1,0 +1,336 @@
+//! Differential oracle for the executor fast path: `Executor::try_run`
+//! (event-skipping, trajectory-cached) must be bitwise identical to
+//! `Executor::try_run_reference` (the seed chunk loop, kept verbatim) in
+//! everything observable — the `TestcaseRun` (records, counts, stats),
+//! the caller's RNG stream position, the persisted thermal state, and
+//! the virtual clock — across seeds, core selections, zero-rate and
+//! nonzero-rate defect mixes, configs, and chaos profile-fault plans.
+
+use rand::RngCore as _;
+use sdc_model::{ArchId, CpuId, DataType, DetRng, Duration};
+use silicon::{catalog, BitPattern, Defect, DefectKind, DefectScope, Processor, Trigger};
+use softcore::InstClass;
+use std::sync::Arc;
+use toolchain::{ExecConfig, ExecError, Executor, ProfileCache, Suite};
+
+/// Testcases some defect of `p` applies to, by name prefix.
+fn applicable_tc(suite: &Suite, prefix: &str, p: &Processor) -> sdc_model::TestcaseId {
+    suite
+        .testcases()
+        .iter()
+        .filter(|t| t.name.starts_with(prefix))
+        .find(|t| p.defects.iter().any(|d| d.applies_to(t.id)))
+        .unwrap_or_else(|| panic!("no applicable testcase with prefix {prefix}"))
+        .id
+}
+
+fn first_tc(suite: &Suite, prefix: &str) -> sdc_model::TestcaseId {
+    suite
+        .testcases()
+        .iter()
+        .find(|t| t.name.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no testcase with prefix {prefix}"))
+        .id
+}
+
+/// Runs the same schedule of `(testcase, cores, duration)` legs through
+/// a fast-path executor and a reference executor (persisting thermal and
+/// clock state across legs) and asserts every observable matches.
+fn assert_equivalent(
+    label: &str,
+    processor: &Processor,
+    suite: &Suite,
+    cfg: ExecConfig,
+    seed: u64,
+    legs: &[(sdc_model::TestcaseId, &[u16], Duration)],
+) {
+    let cache = Arc::new(ProfileCache::with_capacity(64));
+    let mut fast = Executor::with_cache(processor, cfg, cache.clone());
+    let ref_cfg = ExecConfig {
+        reference_executor: true,
+        ..cfg
+    };
+    let mut reference = Executor::with_cache(processor, ref_cfg, cache);
+    let mut rng_fast = DetRng::new(seed);
+    let mut rng_ref = DetRng::new(seed);
+
+    for (leg, &(tc_id, cores, duration)) in legs.iter().enumerate() {
+        let tc = suite.get(tc_id);
+        let a = fast.try_run(tc, cores, duration, &mut rng_fast);
+        let b = reference.try_run(tc, cores, duration, &mut rng_ref);
+        match (a, b) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{label}: leg {leg} ({})", tc.name),
+            (a, b) => panic!("{label}: leg {leg} errored: fast {a:?} vs reference {b:?}"),
+        }
+        // RNG stream position: the fast path must consume the caller's
+        // randomness draw for draw.
+        assert_eq!(
+            rng_fast.next_u64(),
+            rng_ref.next_u64(),
+            "{label}: leg {leg}: RNG streams diverged"
+        );
+        // Persisted state: remaining heat and virtual time.
+        for c in 0..processor.physical_cores as usize {
+            assert_eq!(
+                fast.thermal.temp(c).to_bits(),
+                reference.thermal.temp(c).to_bits(),
+                "{label}: leg {leg}: core {c} temp diverged"
+            );
+        }
+        assert_eq!(
+            fast.clock.now(),
+            reference.clock.now(),
+            "{label}: leg {leg}: clocks diverged"
+        );
+    }
+}
+
+/// A processor mixing provably-zero-rate defects (zero base rate, zero
+/// core scales) with a t_min-gated defect (zero only below its floor)
+/// and a plain always-active one — every pruning path in one package.
+fn zero_rate_mix() -> Processor {
+    let mut p = Processor::healthy(CpuId(7001), ArchId(2), 1.0);
+    p.physical_cores = 8;
+    let comp_kind = |mask: u128| DefectKind::Computation {
+        classes: vec![InstClass::IntArith],
+        datatypes: vec![DataType::I32],
+        patterns: vec![BitPattern { mask, weight: 1.0 }],
+        pattern_dt: DataType::I32,
+        random_mask_prob: 0.1,
+    };
+    // Zero trigger base rate: never fires, prunable up front.
+    p.defects.push(Defect::new(
+        comp_kind(0b1),
+        DefectScope::SingleCore(1),
+        Trigger::flat(0.0),
+    ));
+    // All core scales zero: never fires anywhere.
+    p.defects.push(Defect::new(
+        comp_kind(0b10),
+        DefectScope::AllCores {
+            per_core_scale: vec![0.0; 8],
+        },
+        Trigger::flat(1e-2),
+    ));
+    // Gated far above any reachable temperature: rate is zero every
+    // chunk, but only the per-chunk (steady) check can prove it.
+    p.defects.push(Defect::new(
+        comp_kind(0b100),
+        DefectScope::SingleCore(2),
+        Trigger {
+            base_rate: 0.05,
+            t_ref_c: 60.0,
+            log10_slope_per_c: 0.05,
+            t_min_c: 200.0,
+        },
+    ));
+    // And one that actually fires.
+    p.defects.push(Defect::new(
+        comp_kind(0b1000),
+        DefectScope::SingleCore(2),
+        Trigger {
+            base_rate: 2e-3,
+            t_ref_c: 55.0,
+            log10_slope_per_c: 0.04,
+            t_min_c: 0.0,
+        },
+    ));
+    p
+}
+
+#[test]
+fn catalog_processors_match_reference() {
+    let suite = Suite::standard();
+    for (name, prefix, cores) in [
+        ("FPU1", "fpu/atan/f64/", vec![3u16, 0]),
+        ("MIX1", "fpu/f64/", vec![0u16, 1, 2, 3]),
+        ("CNST1", "cache/", vec![0u16, 1, 2, 3]),
+    ] {
+        let p = catalog::by_name(name).unwrap().processor;
+        let tc = applicable_tc(&suite, prefix, &p);
+        for seed in [1u64, 42] {
+            assert_equivalent(
+                name,
+                &p,
+                &suite,
+                ExecConfig::default(),
+                seed,
+                &[
+                    // Partial-chunk tail, then a longer leg on the same
+                    // executor (remaining heat feeds the next start).
+                    (tc, &cores, Duration::from_millis(2500)),
+                    (tc, &cores, Duration::from_mins(8)),
+                ],
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_rate_and_gated_defects_match_reference() {
+    let suite = Suite::standard();
+    let p = zero_rate_mix();
+    let tc = applicable_tc(&suite, "alu/i32/", &p);
+    for seed in [3u64, 9, 77] {
+        assert_equivalent(
+            "zero-rate mix",
+            &p,
+            &suite,
+            ExecConfig::default(),
+            seed,
+            &[
+                (tc, &[2, 5], Duration::from_mins(6)),
+                (tc, &[0], Duration::from_secs(30)),
+            ],
+        );
+    }
+}
+
+#[test]
+fn healthy_processor_matches_reference() {
+    let suite = Suite::standard();
+    let p = Processor::healthy(CpuId(7002), ArchId(1), 1.0);
+    let tc = first_tc(&suite, "alu/i32/");
+    assert_equivalent(
+        "healthy",
+        &p,
+        &suite,
+        ExecConfig::default(),
+        5,
+        &[(tc, &[0, 1, 2, 3], Duration::from_mins(20))],
+    );
+}
+
+#[test]
+fn hold_and_burn_in_configs_match_reference() {
+    let suite = Suite::standard();
+    let mix1 = catalog::by_name("MIX1").unwrap().processor;
+    let tc = applicable_tc(&suite, "fpu/f64/", &mix1);
+    let all: Vec<u16> = (0..mix1.physical_cores).collect();
+    // Controlled-temperature methodology: held hot (above the tricky
+    // defect's t_min floor) and held cold (below it).
+    for hold in [75.0, 52.0] {
+        assert_equivalent(
+            "hold",
+            &mix1,
+            &suite,
+            ExecConfig {
+                hold_temp_c: Some(hold),
+                ..ExecConfig::default()
+            },
+            11,
+            &[
+                (tc, &all, Duration::from_mins(30)),
+                (tc, &all, Duration::from_millis(700)),
+            ],
+        );
+    }
+    // Farron's burn-in: preheat + stress on idle cores. Repeated legs
+    // share a trajectory cache entry (same preheat start temps).
+    assert_equivalent(
+        "burn-in",
+        &mix1,
+        &suite,
+        ExecConfig {
+            preheat_c: Some(58.0),
+            stress_idle_cores: true,
+            max_records: 64,
+            ..ExecConfig::default()
+        },
+        13,
+        &[
+            (tc, &all, Duration::from_mins(10)),
+            (tc, &all, Duration::from_mins(10)),
+            (tc, &all, Duration::from_mins(10)),
+        ],
+    );
+}
+
+#[test]
+fn long_converged_runs_match_reference() {
+    // Long enough that the thermal trajectory reaches its bitwise fixed
+    // point and the steady-state memoized path does most of the chunks.
+    let suite = Suite::standard();
+    let fpu1 = catalog::by_name("FPU1").unwrap().processor;
+    let tc = applicable_tc(&suite, "fpu/atan/f64/", &fpu1);
+    assert_equivalent(
+        "converged",
+        &fpu1,
+        &suite,
+        ExecConfig::default(),
+        21,
+        &[(tc, &[3], Duration::from_mins(45))],
+    );
+}
+
+#[test]
+fn zero_duration_run_matches_reference() {
+    let suite = Suite::standard();
+    let fpu1 = catalog::by_name("FPU1").unwrap().processor;
+    let tc = applicable_tc(&suite, "fpu/atan/f64/", &fpu1);
+    assert_equivalent(
+        "zero duration",
+        &fpu1,
+        &suite,
+        ExecConfig {
+            preheat_c: Some(58.0),
+            hold_temp_c: Some(80.0),
+            ..ExecConfig::default()
+        },
+        8,
+        &[
+            (tc, &[3], Duration::ZERO),
+            (tc, &[3], Duration::from_mins(2)),
+        ],
+    );
+}
+
+#[test]
+fn chaos_profile_faults_match_reference() {
+    // A fault plan that fails the first profile read: both paths must
+    // surface the identical typed error, then retry identically (the
+    // chaos supervisor's requeue pattern).
+    let suite = Suite::standard();
+    let fpu1 = catalog::by_name("FPU1").unwrap().processor;
+    let tc_id = applicable_tc(&suite, "fpu/atan/f64/", &fpu1);
+    let tc = suite.get(tc_id);
+
+    let mut fast = Executor::new(&fpu1, ExecConfig::default());
+    let mut reference = Executor::new(
+        &fpu1,
+        ExecConfig {
+            reference_executor: true,
+            ..ExecConfig::default()
+        },
+    );
+    for ex in [&mut fast, &mut reference] {
+        ex.set_profile_fault_hook(Some(Arc::new(|_, attempt| attempt == 0)));
+    }
+    let mut rng_fast = DetRng::new(17);
+    let mut rng_ref = DetRng::new(17);
+    let d = Duration::from_mins(5);
+    let a = fast.try_run(tc, &[3], d, &mut rng_fast);
+    let b = reference.try_run(tc, &[3], d, &mut rng_ref);
+    assert!(
+        matches!(a, Err(ExecError::ProfileRead { .. })),
+        "fault hook must fire: {a:?}"
+    );
+    match (&a, &b) {
+        (
+            Err(ExecError::ProfileRead {
+                testcase: ta,
+                attempt: aa,
+            }),
+            Err(ExecError::ProfileRead {
+                testcase: tb,
+                attempt: ab,
+            }),
+        ) => assert_eq!((ta, aa), (tb, ab)),
+        other => panic!("paths disagree under faults: {other:?}"),
+    }
+    // Retry succeeds identically on both.
+    let a = fast.try_run(tc, &[3], d, &mut rng_fast).unwrap();
+    let b = reference.try_run(tc, &[3], d, &mut rng_ref).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(rng_fast.next_u64(), rng_ref.next_u64());
+}

@@ -5,7 +5,7 @@
 //! regeneration lives in the `repro` binary and the bench harness).
 
 use analysis::study::{run_deep_study, StudyConfig, StudyData};
-use analysis::{datatypes, observations, patterns, reproducibility};
+use analysis::{datatypes, observations, reproducibility};
 use sdc_model::{DataType, Duration, Feature, SdcType};
 use std::sync::OnceLock;
 use toolchain::Suite;
@@ -81,8 +81,7 @@ fn obs7_fraction_concentration_and_direction_balance() {
 
 #[test]
 fn obs7_losses_small_for_floats_large_for_ints() {
-    let records: Vec<_> = study().all_records().collect();
-    let f64_cdf = analysis::precision::loss_cdf(records.iter().copied(), DataType::F64);
+    let f64_cdf = analysis::precision::loss_cdf(study().all_records(), DataType::F64);
     if !f64_cdf.log10_cdf.is_empty() {
         assert!(
             f64_cdf.fraction_below(0.02) > 0.9,
@@ -90,7 +89,7 @@ fn obs7_losses_small_for_floats_large_for_ints() {
             f64_cdf.fraction_below(0.02)
         );
     }
-    let i32_cdf = analysis::precision::loss_cdf(records.iter().copied(), DataType::I32);
+    let i32_cdf = analysis::precision::loss_cdf(study().all_records(), DataType::I32);
     if i32_cdf.log10_cdf.len() > 20 {
         let above_100pct = 1.0 - i32_cdf.fraction_below(1.0);
         assert!(above_100pct > 0.15, "i32 losses above 100%: {above_100pct}");
@@ -99,19 +98,19 @@ fn obs7_losses_small_for_floats_large_for_ints() {
 
 #[test]
 fn obs8_patterns_exist_and_are_mostly_single_flip() {
-    let records: Vec<_> = study().all_records().collect();
-    let mined = patterns::mine_patterns(records.iter().copied());
+    let corpus = analysis::RecordCorpus::collect(study().all_records());
+    let mined = corpus.mine_patterns();
     let with_patterns = mined
         .iter()
         .filter(|s| !s.patterns.is_empty() && s.n_records >= 10)
         .count();
     assert!(with_patterns > 5, "settings with patterns: {with_patterns}");
-    let m = patterns::flip_multiplicity(records.iter().copied(), DataType::F64);
+    let m = corpus.flip_multiplicity_with(&mined, DataType::F64);
     assert!(m.one > 0.6, "single-flip share {}", m.one);
     // Multi-flip SDCs exist somewhere in the corpus (Obs. 8); which
     // datatype carries them depends on the defects' pattern draws.
     let multi_somewhere = DataType::ALL.iter().any(|&dt| {
-        let m = patterns::flip_multiplicity(records.iter().copied(), dt);
+        let m = corpus.flip_multiplicity_with(&mined, dt);
         m.two + m.more > 0.0
     });
     assert!(multi_somewhere, "multi-flip SDCs exist (Obs. 8)");
